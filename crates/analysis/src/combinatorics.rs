@@ -1,0 +1,226 @@
+//! Numerically robust combinatorial helpers (log-gamma, binomial coefficients,
+//! binomial distribution) used by the fault-distribution analysis.
+//!
+//! The paper's formulas involve binomial coefficients of the form `C(512, x)` and
+//! powers of very small probabilities, so all computations go through logarithms.
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Implemented with the Lanczos approximation (g = 7, n = 9 coefficients), which is
+/// accurate to roughly 15 significant digits over the domain used here.
+///
+/// # Panics
+///
+/// Panics if `x` is not finite or is `<= 0`.
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x.is_finite() && x > 0.0, "ln_gamma requires x > 0, got {x}");
+
+    // Lanczos coefficients for g = 7.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Natural logarithm of the binomial coefficient `C(n, k)`.
+///
+/// Returns negative infinity when `k > n` (the coefficient is zero).
+#[must_use]
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    if k == 0 || k == n {
+        return 0.0;
+    }
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// Binomial coefficient `C(n, k)` as an `f64` (may overflow to infinity for very
+/// large arguments, which is acceptable for plotting purposes).
+#[must_use]
+pub fn binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    ln_binomial(n, k).exp()
+}
+
+/// Probability mass function of the binomial distribution:
+/// `P[X = k]` where `X ~ Binomial(n, p)`.
+///
+/// Computed in log space for numerical stability; exact `0`/`1` edge cases of `p`
+/// are handled explicitly.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `p` is outside `[0, 1]`.
+#[must_use]
+pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    if k > n {
+        return 0.0;
+    }
+    if p <= 0.0 {
+        return if k == 0 { 1.0 } else { 0.0 };
+    }
+    if p >= 1.0 {
+        return if k == n { 1.0 } else { 0.0 };
+    }
+    let ln_p = ln_binomial(n, k) + (k as f64) * p.ln() + ((n - k) as f64) * (1.0 - p).ln_1p_safe();
+    ln_p.exp()
+}
+
+/// Survival function of the binomial distribution: `P[X > k]` for `X ~ Binomial(n, p)`.
+#[must_use]
+pub fn binomial_sf(n: u64, k: u64, p: f64) -> f64 {
+    let mut acc = 0.0;
+    for i in (k + 1)..=n {
+        acc += binomial_pmf(n, i, p);
+    }
+    acc.clamp(0.0, 1.0)
+}
+
+/// Cumulative distribution function of the binomial distribution: `P[X <= k]`.
+#[must_use]
+pub fn binomial_cdf(n: u64, k: u64, p: f64) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..=k.min(n) {
+        acc += binomial_pmf(n, i, p);
+    }
+    acc.clamp(0.0, 1.0)
+}
+
+/// Mean of a `Binomial(n, p)` random variable.
+#[must_use]
+pub fn binomial_mean(n: u64, p: f64) -> f64 {
+    n as f64 * p
+}
+
+/// Standard deviation of a `Binomial(n, p)` random variable.
+#[must_use]
+pub fn binomial_std_dev(n: u64, p: f64) -> f64 {
+    (n as f64 * p * (1.0 - p)).sqrt()
+}
+
+/// Extension trait providing `(1 - p).ln()` computed as `ln_1p(-p)` for accuracy when
+/// `p` is tiny — exactly the regime of per-cell failure probabilities (1e-4..1e-2).
+trait Ln1pSafe {
+    fn ln_1p_safe(self) -> f64;
+}
+
+impl Ln1pSafe for f64 {
+    fn ln_1p_safe(self) -> f64 {
+        // `self` is already `1 - p`; recover p and use ln_1p for precision.
+        let p = 1.0 - self;
+        (-p).ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs())),
+            "{a} != {b} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n+1) = n!
+        let facts = [1.0, 1.0, 2.0, 6.0, 24.0, 120.0, 720.0, 5040.0];
+        for (n, &f) in facts.iter().enumerate() {
+            assert_close(ln_gamma(n as f64 + 1.0), f64::ln(f), 1e-12);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = sqrt(pi)
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-12);
+        // Γ(3/2) = sqrt(pi)/2
+        assert_close(ln_gamma(1.5), (std::f64::consts::PI.sqrt() / 2.0).ln(), 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires x > 0")]
+    fn ln_gamma_rejects_non_positive() {
+        let _ = ln_gamma(0.0);
+    }
+
+    #[test]
+    fn binomial_coefficients_small_values() {
+        assert_close(binomial(5, 2), 10.0, 1e-12);
+        assert_close(binomial(10, 5), 252.0, 1e-12);
+        assert_close(binomial(52, 5), 2_598_960.0, 1e-9);
+        assert_eq!(binomial(3, 5), 0.0);
+        assert_close(binomial(7, 0), 1.0, 1e-12);
+        assert_close(binomial(7, 7), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for &(n, p) in &[(10_u64, 0.3_f64), (100, 0.001), (512, 0.42), (537, 0.0005)] {
+            let sum: f64 = (0..=n).map(|k| binomial_pmf(n, k, p)).sum();
+            assert_close(sum, 1.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_edge_probabilities() {
+        assert_eq!(binomial_pmf(10, 0, 0.0), 1.0);
+        assert_eq!(binomial_pmf(10, 3, 0.0), 0.0);
+        assert_eq!(binomial_pmf(10, 10, 1.0), 1.0);
+        assert_eq!(binomial_pmf(10, 9, 1.0), 0.0);
+        assert_eq!(binomial_pmf(10, 11, 0.5), 0.0);
+    }
+
+    #[test]
+    fn binomial_pmf_known_value() {
+        // P[X=2], X~Bin(4, 0.5) = 6/16
+        assert_close(binomial_pmf(4, 2, 0.5), 0.375, 1e-12);
+        // P[X=1], X~Bin(3, 0.1) = 3 * 0.1 * 0.81 = 0.243
+        assert_close(binomial_pmf(3, 1, 0.1), 0.243, 1e-12);
+    }
+
+    #[test]
+    fn cdf_and_sf_are_complementary() {
+        for k in 0..=20 {
+            let cdf = binomial_cdf(20, k, 0.37);
+            let sf = binomial_sf(20, k, 0.37);
+            assert_close(cdf + sf, 1.0, 1e-9);
+        }
+    }
+
+    #[test]
+    fn binomial_moments() {
+        assert_close(binomial_mean(512, 0.42), 215.04, 1e-12);
+        assert_close(binomial_std_dev(512, 0.42), (512.0_f64 * 0.42 * 0.58).sqrt(), 1e-12);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error type for the analysis crate.
+
+/// Errors produced by the probability-analysis routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnalysisError {
+    /// A probability argument was outside `[0, 1]` or not finite.
+    InvalidProbability(f64),
+    /// A geometry parameter was zero or otherwise inconsistent.
+    InvalidGeometry(String),
+    /// A requested fault count exceeds the number of cells in the array.
+    TooManyFaults {
+        /// Number of faults requested.
+        requested: u64,
+        /// Number of cells available in the array.
+        cells: u64,
+    },
+}
+
+impl std::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidProbability(p) => {
+                write!(f, "probability {p} is not a finite value in [0, 1]")
+            }
+            Self::InvalidGeometry(msg) => write!(f, "invalid array geometry: {msg}"),
+            Self::TooManyFaults { requested, cells } => write!(
+                f,
+                "requested {requested} faults but the array only has {cells} cells"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = AnalysisError::InvalidProbability(1.5);
+        assert!(e.to_string().contains("1.5"));
+        let e = AnalysisError::InvalidGeometry("zero blocks".into());
+        assert!(e.to_string().contains("zero blocks"));
+        let e = AnalysisError::TooManyFaults {
+            requested: 10,
+            cells: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('5'));
+    }
+}

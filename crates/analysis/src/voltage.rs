@@ -1,0 +1,240 @@
+//! Illustrative voltage / frequency / power / performance scaling model of Fig. 1.
+//!
+//! Fig. 1 of the paper is an illustration: frequency is assumed to scale linearly
+//! with supply voltage, dynamic power scales as `C * V^2 * F` (cubic in voltage when
+//! frequency tracks voltage), and performance is assumed proportional to frequency.
+//! Operation below Vcc-min extends the cubic-power region at the price of a
+//! *sub-linear* performance degradation caused by shrinking usable cache capacity.
+//!
+//! This module reproduces those curves so the example binaries and benches can emit
+//! the same qualitative picture (Figs. 1a and 1b).
+
+/// A point on the voltage-scaling curves of Fig. 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct ScalingPoint {
+    /// Normalized frequency (x-axis), in `[0, 1]`.
+    pub frequency: f64,
+    /// Normalized supply voltage, in `[0, 1]`.
+    pub voltage: f64,
+    /// Normalized dynamic power (`V^2 * F`), in `[0, 1]`.
+    pub power: f64,
+    /// Normalized performance, in `[0, 1]`.
+    pub performance: f64,
+}
+
+/// The three operating regions of Fig. 1b.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum OperatingRegion {
+    /// Above Vcc-min, voltage scales with frequency: cubic power reduction.
+    Cubic,
+    /// Below the low-voltage floor, voltage is pinned at its minimum: linear power
+    /// reduction with frequency.
+    Linear,
+    /// Between Vcc-min and the voltage floor, enabled by fault-tolerant caches:
+    /// cubic power reduction with sub-linear performance loss.
+    LowVoltage,
+}
+
+/// Model of classic dynamic voltage scaling (Fig. 1a) and of scaling extended below
+/// Vcc-min (Fig. 1b).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VoltageScalingModel {
+    /// Normalized frequency at which voltage reaches Vcc-min.
+    pub vccmin_frequency: f64,
+    /// Normalized Vcc-min voltage.
+    pub vccmin_voltage: f64,
+    /// Normalized frequency at which voltage reaches the absolute floor in the
+    /// below-Vcc-min regime (Fig. 1b only).
+    pub low_voltage_frequency: f64,
+    /// Normalized voltage floor in the below-Vcc-min regime.
+    pub low_voltage_floor: f64,
+    /// Performance penalty factor at the low-voltage floor due to reduced cache
+    /// capacity (e.g. 0.08 for an 8% IPC loss); interpolated across the low-voltage
+    /// region.
+    pub low_voltage_perf_penalty: f64,
+}
+
+impl VoltageScalingModel {
+    /// A representative model matching the proportions of Fig. 1: Vcc-min at 70% of
+    /// nominal voltage / frequency, a low-voltage floor at 50%, and an 8% IPC penalty
+    /// at the floor (the paper's average block-disabling penalty).
+    #[must_use]
+    pub fn paper_illustration() -> Self {
+        Self {
+            vccmin_frequency: 0.7,
+            vccmin_voltage: 0.7,
+            low_voltage_frequency: 0.5,
+            low_voltage_floor: 0.5,
+            low_voltage_perf_penalty: 0.083,
+        }
+    }
+
+    /// Normalized voltage for a normalized frequency under *classic* DVS (Fig. 1a):
+    /// voltage tracks frequency down to Vcc-min and is pinned there below it.
+    #[must_use]
+    pub fn classic_voltage(&self, frequency: f64) -> f64 {
+        let f = frequency.clamp(0.0, 1.0);
+        if f >= self.vccmin_frequency {
+            f
+        } else {
+            self.vccmin_voltage
+        }
+    }
+
+    /// Normalized voltage for a normalized frequency when operation below Vcc-min is
+    /// allowed (Fig. 1b): voltage keeps tracking frequency until the low-voltage
+    /// floor.
+    #[must_use]
+    pub fn below_vccmin_voltage(&self, frequency: f64) -> f64 {
+        let f = frequency.clamp(0.0, 1.0);
+        if f >= self.low_voltage_frequency {
+            f.max(self.low_voltage_floor)
+        } else {
+            self.low_voltage_floor
+        }
+    }
+
+    /// Operating region for a normalized frequency in the below-Vcc-min regime.
+    #[must_use]
+    pub fn region(&self, frequency: f64) -> OperatingRegion {
+        let f = frequency.clamp(0.0, 1.0);
+        if f >= self.vccmin_frequency {
+            OperatingRegion::Cubic
+        } else if f >= self.low_voltage_frequency {
+            OperatingRegion::LowVoltage
+        } else {
+            OperatingRegion::Linear
+        }
+    }
+
+    /// Fig. 1a curve: classic DVS, performance proportional to frequency.
+    #[must_use]
+    pub fn classic_curve(&self, steps: usize) -> Vec<ScalingPoint> {
+        assert!(steps >= 2, "a curve needs at least two points");
+        (0..steps)
+            .map(|i| {
+                let f = i as f64 / (steps - 1) as f64;
+                let v = self.classic_voltage(f);
+                ScalingPoint {
+                    frequency: f,
+                    voltage: v,
+                    power: v * v * f,
+                    performance: f,
+                }
+            })
+            .collect()
+    }
+
+    /// Fig. 1b curve: DVS extended below Vcc-min. In the low-voltage region the
+    /// performance degrades sub-linearly — frequency loss plus a capacity-induced
+    /// penalty that grows as voltage keeps dropping.
+    #[must_use]
+    pub fn below_vccmin_curve(&self, steps: usize) -> Vec<ScalingPoint> {
+        assert!(steps >= 2, "a curve needs at least two points");
+        (0..steps)
+            .map(|i| {
+                let f = i as f64 / (steps - 1) as f64;
+                let v = self.below_vccmin_voltage(f);
+                let perf = match self.region(f) {
+                    OperatingRegion::Cubic => f,
+                    OperatingRegion::LowVoltage => {
+                        // Penalty ramps from 0 at Vcc-min to `low_voltage_perf_penalty`
+                        // at the floor.
+                        let span = self.vccmin_frequency - self.low_voltage_frequency;
+                        let depth = if span > 0.0 {
+                            (self.vccmin_frequency - f) / span
+                        } else {
+                            1.0
+                        };
+                        f * (1.0 - self.low_voltage_perf_penalty * depth)
+                    }
+                    OperatingRegion::Linear => {
+                        f * (1.0 - self.low_voltage_perf_penalty)
+                    }
+                };
+                ScalingPoint {
+                    frequency: f,
+                    voltage: v,
+                    power: v * v * f,
+                    performance: perf,
+                }
+            })
+            .collect()
+    }
+}
+
+impl Default for VoltageScalingModel {
+    fn default() -> Self {
+        Self::paper_illustration()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_voltage_pins_at_vccmin() {
+        let m = VoltageScalingModel::paper_illustration();
+        assert_eq!(m.classic_voltage(1.0), 1.0);
+        assert_eq!(m.classic_voltage(0.8), 0.8);
+        assert_eq!(m.classic_voltage(0.5), m.vccmin_voltage);
+        assert_eq!(m.classic_voltage(0.0), m.vccmin_voltage);
+    }
+
+    #[test]
+    fn below_vccmin_voltage_extends_scaling() {
+        let m = VoltageScalingModel::paper_illustration();
+        assert_eq!(m.below_vccmin_voltage(0.6), 0.6);
+        assert!(m.below_vccmin_voltage(0.6) < m.classic_voltage(0.6));
+        assert_eq!(m.below_vccmin_voltage(0.3), m.low_voltage_floor);
+    }
+
+    #[test]
+    fn regions_partition_the_frequency_axis() {
+        let m = VoltageScalingModel::paper_illustration();
+        assert_eq!(m.region(0.9), OperatingRegion::Cubic);
+        assert_eq!(m.region(0.6), OperatingRegion::LowVoltage);
+        assert_eq!(m.region(0.2), OperatingRegion::Linear);
+    }
+
+    #[test]
+    fn below_vccmin_power_is_lower_in_low_voltage_region() {
+        let m = VoltageScalingModel::paper_illustration();
+        let classic = m.classic_curve(101);
+        let below = m.below_vccmin_curve(101);
+        for (c, b) in classic.iter().zip(&below) {
+            assert!(b.power <= c.power + 1e-12);
+            if m.region(c.frequency) == OperatingRegion::LowVoltage {
+                assert!(b.power < c.power, "power should be lower at f={}", c.frequency);
+            }
+        }
+    }
+
+    #[test]
+    fn performance_degradation_is_sublinear_but_present() {
+        let m = VoltageScalingModel::paper_illustration();
+        let below = m.below_vccmin_curve(101);
+        for p in &below {
+            match m.region(p.frequency) {
+                OperatingRegion::Cubic => assert!((p.performance - p.frequency).abs() < 1e-12),
+                _ => assert!(p.performance <= p.frequency),
+            }
+            assert!(p.performance >= p.frequency * (1.0 - m.low_voltage_perf_penalty) - 1e-12);
+        }
+    }
+
+    #[test]
+    fn curves_are_monotone_in_frequency() {
+        let m = VoltageScalingModel::paper_illustration();
+        for curve in [m.classic_curve(50), m.below_vccmin_curve(50)] {
+            for pair in curve.windows(2) {
+                assert!(pair[1].performance >= pair[0].performance - 1e-12);
+                assert!(pair[1].power >= pair[0].power - 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+//! Benchmarks (and regeneration) of the analytical figures: Fig. 1 (voltage
+//! scaling), Fig. 3 (faulty-block fraction), Fig. 4 (capacity distribution),
+//! Fig. 5 (whole-cache failure), Fig. 6 (block-size sensitivity) and Fig. 7
+//! (incremental word-disabling).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vccmin_core::experiments::analysis_figures as figures;
+
+fn print_summary() {
+    // Print each figure's headline numbers once so the bench log doubles as the
+    // regenerated data set.
+    let fig3 = figures::figure3(51);
+    let half = fig3
+        .rows
+        .iter()
+        .find(|(_, v)| v[0] > 0.5)
+        .map(|(k, _)| k.clone())
+        .unwrap_or_default();
+    println!("[fig3] faulty blocks exceed 50% at pfail ~ {half} (paper: ~0.0013)");
+
+    let fig4 = figures::figure4();
+    let (mode, _) = fig4
+        .rows
+        .iter()
+        .max_by(|a, b| a.1[0].partial_cmp(&b.1[0]).unwrap())
+        .unwrap();
+    println!("[fig4] capacity distribution mode at {mode} (paper: ~0.58)");
+
+    let fig5 = figures::figure5(51);
+    let at_0001 = fig5
+        .rows
+        .iter()
+        .find(|(k, _)| k.starts_with("0.00100"))
+        .map(|(_, v)| v[0])
+        .unwrap_or(0.0);
+    println!("[fig5] P(whole-cache failure) at pfail=0.001: {at_0001:.4} (paper: ~1e-3)");
+
+    let fig7 = figures::figure7(51);
+    println!(
+        "[fig7] incremental word-disable capacity at pfail=0: {:.2}, at pfail=0.01: {:.2}",
+        fig7.rows[0].1[0],
+        fig7.rows.last().unwrap().1[0]
+    );
+}
+
+fn bench_analysis_figures(c: &mut Criterion) {
+    print_summary();
+    let mut group = c.benchmark_group("analysis_figures");
+    group.bench_function("fig01_voltage_scaling", |b| {
+        b.iter(|| black_box(figures::figure1(black_box(51))))
+    });
+    group.bench_function("fig03_faulty_blocks", |b| {
+        b.iter(|| black_box(figures::figure3(black_box(51))))
+    });
+    group.bench_function("fig04_capacity_distribution", |b| {
+        b.iter(|| black_box(figures::figure4()))
+    });
+    group.bench_function("fig05_whole_cache_failure", |b| {
+        b.iter(|| black_box(figures::figure5(black_box(51))))
+    });
+    group.bench_function("fig06_block_size", |b| {
+        b.iter(|| black_box(figures::figure6(black_box(51))))
+    });
+    group.bench_function("fig07_incremental_word_disable", |b| {
+        b.iter(|| black_box(figures::figure7(black_box(51))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis_figures);
+criterion_main!(benches);

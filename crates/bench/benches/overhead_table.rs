@@ -1,0 +1,27 @@
+//! Benchmark (and regeneration) of Table I: the transistor-overhead comparison of
+//! the disabling schemes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use vccmin_core::OverheadTable;
+
+fn bench_overhead_table(c: &mut Criterion) {
+    // Regenerate and print the table once so the bench log carries the data.
+    let table = OverheadTable::ispass2010();
+    for row in table.rows() {
+        println!(
+            "[table1] {:<24} total={} transistors (x{:.2} vs baseline)",
+            row.scheme,
+            row.total_transistors,
+            table.relative_to_baseline(row.scheme).unwrap()
+        );
+    }
+
+    c.bench_function("table1_overhead", |b| {
+        b.iter(|| black_box(OverheadTable::ispass2010()))
+    });
+}
+
+criterion_group!(benches, bench_overhead_table);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Shared helpers for the `vccmin` benchmark harness.
+//!
+//! The benches in `benches/` double as the figure-regeneration harness: each bench
+//! group corresponds to one table or figure of the ISPASS 2010 paper, prints the
+//! series it regenerates once (so `cargo bench` output contains the data), and then
+//! measures how long the regeneration takes.
+
+use vccmin_core::experiments::simulation::SimulationParams;
+use vccmin_core::Benchmark;
+
+/// Simulation parameters used by the simulation-figure benches: a representative
+/// subset of benchmarks and small traces so a full `cargo bench` stays in the
+/// minutes range. The full-scale campaign is available through the `vccmin-repro`
+/// CLI (`--instructions`, `--pairs`).
+#[must_use]
+pub fn bench_params() -> SimulationParams {
+    SimulationParams {
+        instructions: 20_000,
+        fault_map_pairs: 3,
+        benchmarks: vec![
+            Benchmark::Crafty,
+            Benchmark::Gzip,
+            Benchmark::Mesa,
+            Benchmark::Sixtrack,
+            Benchmark::Mcf,
+            Benchmark::Swim,
+        ],
+        ..SimulationParams::quick()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_params_are_a_scaled_down_quick_campaign() {
+        let p = bench_params();
+        assert!(p.instructions < SimulationParams::quick().instructions);
+        assert_eq!(p.pfail, 0.001);
+        assert_eq!(p.benchmarks.len(), 6);
+    }
+}

@@ -1,0 +1,371 @@
+//! Cache organizations for operation below Vcc-min: baseline, block-disabling and
+//! word-disabling, at high and low voltage (Table III of the paper).
+
+use vccmin_fault::{CacheGeometry, CellTechnology, FaultMap};
+
+/// Supply-voltage operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum VoltageMode {
+    /// At or above Vcc-min: every cell is reliable, fault maps are ignored.
+    High,
+    /// Below Vcc-min: 6T cells fail per the fault map and the disabling scheme is
+    /// active.
+    Low,
+}
+
+/// The cache fault-tolerance scheme in use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum DisablingScheme {
+    /// No scheme: an idealized cache that is assumed fault free at any voltage.
+    /// Used as the normalization reference in the paper's figures.
+    Baseline,
+    /// Block-disabling (this paper): any block with a fault in its data, tag or
+    /// metadata is disabled at low voltage; no latency overhead at any voltage.
+    BlockDisabling,
+    /// Word-disabling (Wilkerson et al.): pairs of blocks merge into one logical
+    /// block at low voltage (half capacity, half associativity) and the alignment
+    /// network adds one cycle of latency at *both* voltages.
+    WordDisabling,
+}
+
+impl DisablingScheme {
+    /// Extra L1 hit latency (cycles) imposed by the scheme, independent of voltage.
+    #[must_use]
+    pub fn extra_latency(self) -> u32 {
+        match self {
+            Self::Baseline | Self::BlockDisabling => 0,
+            Self::WordDisabling => 1,
+        }
+    }
+
+    /// Words per word-disable subblock (8 in the paper). Only meaningful for
+    /// [`DisablingScheme::WordDisabling`].
+    #[must_use]
+    pub fn subblock_words(self) -> u8 {
+        8
+    }
+}
+
+/// Configuration of a victim cache attached to an L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct VictimCacheConfig {
+    /// Number of physical entries (16 in the paper).
+    pub entries: usize,
+    /// Cell technology: 10T keeps all entries at low voltage, 6T keeps roughly half
+    /// (the paper's conservative assumption).
+    pub technology: CellTechnology,
+    /// Additional latency of a victim-cache hit, in cycles (1 in the paper).
+    pub latency: u32,
+}
+
+impl VictimCacheConfig {
+    /// The paper's 16-entry, 1-cycle victim cache built from 10T cells.
+    #[must_use]
+    pub fn ispass2010_10t() -> Self {
+        Self {
+            entries: 16,
+            technology: CellTechnology::TenT,
+            latency: 1,
+        }
+    }
+
+    /// The paper's 16-entry victim cache built from 6T cells with per-entry disable
+    /// bits (8 entries assumed usable at low voltage).
+    #[must_use]
+    pub fn ispass2010_6t() -> Self {
+        Self {
+            entries: 16,
+            technology: CellTechnology::SixT,
+            latency: 1,
+        }
+    }
+
+    /// Number of entries usable in the given voltage mode.
+    ///
+    /// At low voltage a 6T victim cache keeps half of its entries — the paper's
+    /// conservative assumption (the analytical mean is ~6.5 faulty of 16 at
+    /// `pfail = 0.001`).
+    #[must_use]
+    pub fn usable_entries(&self, mode: VoltageMode) -> usize {
+        match (mode, self.technology) {
+            (VoltageMode::High, _) | (VoltageMode::Low, CellTechnology::TenT) => self.entries,
+            (VoltageMode::Low, CellTechnology::SixT) => self.entries / 2,
+        }
+    }
+}
+
+/// Configuration of one L1 cache (instruction or data side).
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct L1Config {
+    /// Physical geometry of the cache at high voltage.
+    pub geometry: CacheGeometry,
+    /// Fault-tolerance scheme.
+    pub scheme: DisablingScheme,
+    /// Base hit latency in cycles (3 in the paper), before any scheme overhead.
+    pub base_latency: u32,
+    /// Optional victim cache.
+    pub victim: Option<VictimCacheConfig>,
+}
+
+impl L1Config {
+    /// The paper's 32 KB, 8-way, 64 B/block, 3-cycle L1 with the given scheme and no
+    /// victim cache.
+    #[must_use]
+    pub fn ispass2010(scheme: DisablingScheme) -> Self {
+        Self {
+            geometry: CacheGeometry::ispass2010_l1(),
+            scheme,
+            base_latency: 3,
+            victim: None,
+        }
+    }
+
+    /// Same as [`L1Config::ispass2010`] with a victim cache attached.
+    #[must_use]
+    pub fn ispass2010_with_victim(scheme: DisablingScheme, victim: VictimCacheConfig) -> Self {
+        Self {
+            victim: Some(victim),
+            ..Self::ispass2010(scheme)
+        }
+    }
+
+    /// L1 hit latency in cycles including the scheme overhead.
+    #[must_use]
+    pub fn hit_latency(&self) -> u32 {
+        self.base_latency + self.scheme.extra_latency()
+    }
+
+    /// Resolves the *effective* organization of this L1 in the given voltage mode
+    /// with the given fault map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisableError`] if a fault map is required but missing, does not
+    /// match the geometry, or (for word-disabling) renders the whole cache unusable.
+    pub fn effective_organization(
+        &self,
+        mode: VoltageMode,
+        fault_map: Option<&FaultMap>,
+    ) -> Result<EffectiveL1, DisableError> {
+        let victim_entries = self.victim.map(|v| v.usable_entries(mode)).unwrap_or(0);
+        let victim_latency = self.victim.map(|v| v.latency).unwrap_or(0);
+        let base = EffectiveL1 {
+            geometry: self.geometry,
+            disabled: None,
+            hit_latency: self.hit_latency(),
+            victim_entries,
+            victim_latency,
+        };
+        match (mode, self.scheme) {
+            (VoltageMode::High, _) | (VoltageMode::Low, DisablingScheme::Baseline) => Ok(base),
+            (VoltageMode::Low, DisablingScheme::BlockDisabling) => {
+                let map = fault_map.ok_or(DisableError::MissingFaultMap)?;
+                if map.geometry() != &self.geometry {
+                    return Err(DisableError::GeometryMismatch);
+                }
+                Ok(EffectiveL1 {
+                    disabled: Some(map.clone()),
+                    ..base
+                })
+            }
+            (VoltageMode::Low, DisablingScheme::WordDisabling) => {
+                let map = fault_map.ok_or(DisableError::MissingFaultMap)?;
+                if map.geometry() != &self.geometry {
+                    return Err(DisableError::GeometryMismatch);
+                }
+                if !map.word_disable_usable(self.scheme.subblock_words()) {
+                    return Err(DisableError::WholeCacheFailure);
+                }
+                let halved = self
+                    .geometry
+                    .halved()
+                    .map_err(|_| DisableError::GeometryMismatch)?;
+                Ok(EffectiveL1 {
+                    geometry: halved,
+                    disabled: None,
+                    ..base
+                })
+            }
+        }
+    }
+}
+
+/// The resolved organization of an L1 for a particular voltage mode and fault map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EffectiveL1 {
+    /// Geometry presented to the access stream (halved for low-voltage word-disable).
+    pub geometry: CacheGeometry,
+    /// Fault map whose faulty blocks must be disabled (block-disabling only).
+    pub disabled: Option<FaultMap>,
+    /// Hit latency in cycles.
+    pub hit_latency: u32,
+    /// Usable victim-cache entries (0 = no victim cache).
+    pub victim_entries: usize,
+    /// Additional latency of a victim-cache hit.
+    pub victim_latency: u32,
+}
+
+impl EffectiveL1 {
+    /// Fraction of the full-size cache capacity available in this organization.
+    #[must_use]
+    pub fn capacity_fraction(&self, full: &CacheGeometry) -> f64 {
+        let blocks = match &self.disabled {
+            Some(map) => map.fault_free_blocks(),
+            None => self.geometry.blocks(),
+        };
+        blocks as f64 / full.blocks() as f64
+    }
+}
+
+/// Errors resolving a low-voltage cache organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DisableError {
+    /// A fault map is required for this scheme/mode but none was provided.
+    MissingFaultMap,
+    /// The fault map's geometry does not match the cache, or the geometry cannot be
+    /// transformed as the scheme requires.
+    GeometryMismatch,
+    /// Word-disabling cannot repair this fault map: some subblock has more faulty
+    /// words than the scheme tolerates, so the whole cache is unusable below Vcc-min.
+    WholeCacheFailure,
+}
+
+impl std::fmt::Display for DisableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingFaultMap => write!(f, "a fault map is required for low-voltage operation"),
+            Self::GeometryMismatch => write!(f, "fault map geometry does not match the cache"),
+            Self::WholeCacheFailure => {
+                write!(f, "word-disabling cannot repair this fault map (whole-cache failure)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DisableError {}
+
+/// Alias kept for API clarity: a low-voltage configuration is an [`L1Config`]
+/// resolved with [`L1Config::effective_organization`] in [`VoltageMode::Low`].
+pub type LowVoltageConfig = L1Config;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map_at(pfail: f64, seed: u64) -> FaultMap {
+        FaultMap::generate(&CacheGeometry::ispass2010_l1(), pfail, seed)
+    }
+
+    #[test]
+    fn baseline_ignores_fault_maps() {
+        let cfg = L1Config::ispass2010(DisablingScheme::Baseline);
+        let eff = cfg.effective_organization(VoltageMode::Low, None).unwrap();
+        assert_eq!(eff.geometry, cfg.geometry);
+        assert!(eff.disabled.is_none());
+        assert_eq!(eff.hit_latency, 3);
+        assert_eq!(eff.capacity_fraction(&cfg.geometry), 1.0);
+    }
+
+    #[test]
+    fn word_disabling_adds_latency_even_at_high_voltage() {
+        let cfg = L1Config::ispass2010(DisablingScheme::WordDisabling);
+        let eff = cfg.effective_organization(VoltageMode::High, None).unwrap();
+        assert_eq!(eff.hit_latency, 4);
+        assert_eq!(eff.geometry, cfg.geometry);
+        let block = L1Config::ispass2010(DisablingScheme::BlockDisabling);
+        assert_eq!(
+            block
+                .effective_organization(VoltageMode::High, None)
+                .unwrap()
+                .hit_latency,
+            3
+        );
+    }
+
+    #[test]
+    fn word_disabling_halves_capacity_at_low_voltage() {
+        let cfg = L1Config::ispass2010(DisablingScheme::WordDisabling);
+        let map = map_at(0.001, 11);
+        let eff = cfg
+            .effective_organization(VoltageMode::Low, Some(&map))
+            .unwrap();
+        assert_eq!(eff.geometry.size_bytes(), 16 * 1024);
+        assert_eq!(eff.geometry.associativity(), 4);
+        assert_eq!(eff.capacity_fraction(&cfg.geometry), 0.5);
+        assert_eq!(eff.hit_latency, 4);
+    }
+
+    #[test]
+    fn block_disabling_keeps_geometry_but_disables_blocks() {
+        let cfg = L1Config::ispass2010(DisablingScheme::BlockDisabling);
+        let map = map_at(0.001, 11);
+        let eff = cfg
+            .effective_organization(VoltageMode::Low, Some(&map))
+            .unwrap();
+        assert_eq!(eff.geometry, cfg.geometry);
+        assert_eq!(eff.hit_latency, 3);
+        let cap = eff.capacity_fraction(&cfg.geometry);
+        assert!((0.4..0.8).contains(&cap), "capacity fraction {cap}");
+    }
+
+    #[test]
+    fn low_voltage_block_disabling_requires_a_fault_map() {
+        let cfg = L1Config::ispass2010(DisablingScheme::BlockDisabling);
+        assert_eq!(
+            cfg.effective_organization(VoltageMode::Low, None).unwrap_err(),
+            DisableError::MissingFaultMap
+        );
+    }
+
+    #[test]
+    fn mismatched_fault_map_is_rejected() {
+        let cfg = L1Config::ispass2010(DisablingScheme::BlockDisabling);
+        let other = FaultMap::generate(&CacheGeometry::ispass2010_l2(), 0.001, 0);
+        assert_eq!(
+            cfg.effective_organization(VoltageMode::Low, Some(&other))
+                .unwrap_err(),
+            DisableError::GeometryMismatch
+        );
+    }
+
+    #[test]
+    fn word_disabling_detects_whole_cache_failure() {
+        let cfg = L1Config::ispass2010(DisablingScheme::WordDisabling);
+        // At pfail=0.2 some subblock will certainly exceed 4 faulty words.
+        let map = map_at(0.2, 3);
+        assert_eq!(
+            cfg.effective_organization(VoltageMode::Low, Some(&map))
+                .unwrap_err(),
+            DisableError::WholeCacheFailure
+        );
+    }
+
+    #[test]
+    fn victim_cache_entry_count_depends_on_technology_and_voltage() {
+        let v10 = VictimCacheConfig::ispass2010_10t();
+        let v6 = VictimCacheConfig::ispass2010_6t();
+        assert_eq!(v10.usable_entries(VoltageMode::High), 16);
+        assert_eq!(v10.usable_entries(VoltageMode::Low), 16);
+        assert_eq!(v6.usable_entries(VoltageMode::High), 16);
+        assert_eq!(v6.usable_entries(VoltageMode::Low), 8);
+
+        let cfg = L1Config::ispass2010_with_victim(DisablingScheme::BlockDisabling, v6);
+        let map = map_at(0.001, 1);
+        let eff = cfg
+            .effective_organization(VoltageMode::Low, Some(&map))
+            .unwrap();
+        assert_eq!(eff.victim_entries, 8);
+        assert_eq!(eff.victim_latency, 1);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(DisableError::MissingFaultMap.to_string().contains("fault map"));
+        assert!(DisableError::WholeCacheFailure.to_string().contains("whole-cache"));
+        assert!(DisableError::GeometryMismatch.to_string().contains("geometry"));
+    }
+}

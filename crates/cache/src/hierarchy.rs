@@ -1,0 +1,479 @@
+//! Two-level cache hierarchy with optional victim caches.
+//!
+//! The hierarchy mirrors the memory system of Table II/III of the paper: split L1
+//! instruction and data caches (32 KB, 8-way, 64 B blocks, 3-cycle hit), optional
+//! 16-entry victim caches (1 extra cycle), a unified 2 MB 8-way L2 (20-cycle hit)
+//! and a flat main-memory latency (255 cycles at high voltage / 3 GHz, 51 cycles at
+//! low voltage / 600 MHz).
+//!
+//! The hierarchy is a *functional + latency* model: each access returns the level
+//! that served it and the total latency in cycles. The out-of-order CPU model treats
+//! that latency as the completion time of the access and extracts memory-level
+//! parallelism by overlapping independent accesses.
+
+use vccmin_fault::{CacheGeometry, FaultMap};
+
+use crate::disabling::{DisableError, DisablingScheme, EffectiveL1, L1Config, VoltageMode};
+use crate::set_assoc::SetAssocCache;
+use crate::stats::{CacheStats, HierarchyStats};
+use crate::victim::VictimCache;
+
+/// Which level of the hierarchy served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum HitLevel {
+    /// Served by the L1 (instruction or data).
+    L1,
+    /// Served by the victim cache attached to the L1.
+    Victim,
+    /// Served by the unified L2.
+    L2,
+    /// Served by main memory.
+    Memory,
+}
+
+/// Result of one hierarchy access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AccessResult {
+    /// Total access latency in cycles.
+    pub latency: u32,
+    /// Level that provided the data.
+    pub level: HitLevel,
+}
+
+/// Configuration of the whole hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct HierarchyConfig {
+    /// Instruction-side L1 configuration.
+    pub l1i: L1Config,
+    /// Data-side L1 configuration.
+    pub l1d: L1Config,
+    /// Unified L2 geometry.
+    pub l2_geometry: CacheGeometry,
+    /// L2 hit latency in cycles.
+    pub l2_latency: u32,
+    /// Main-memory latency in cycles.
+    pub memory_latency: u32,
+    /// Operating voltage mode.
+    pub voltage: VoltageMode,
+}
+
+impl HierarchyConfig {
+    /// Paper memory latency at high voltage (3 GHz): 255 cycles.
+    pub const MEMORY_LATENCY_HIGH_VOLTAGE: u32 = 255;
+    /// Paper memory latency at low voltage (600 MHz): 51 cycles.
+    pub const MEMORY_LATENCY_LOW_VOLTAGE: u32 = 51;
+    /// Paper L2 hit latency: 20 cycles.
+    pub const L2_LATENCY: u32 = 20;
+
+    /// A hierarchy with the paper's structural parameters, the given L1 scheme on
+    /// both the instruction and data side, and the given voltage mode.
+    #[must_use]
+    pub fn ispass2010(scheme: DisablingScheme, voltage: VoltageMode) -> Self {
+        let l1 = L1Config::ispass2010(scheme);
+        Self {
+            l1i: l1,
+            l1d: l1,
+            l2_geometry: CacheGeometry::ispass2010_l2(),
+            l2_latency: Self::L2_LATENCY,
+            memory_latency: match voltage {
+                VoltageMode::High => Self::MEMORY_LATENCY_HIGH_VOLTAGE,
+                VoltageMode::Low => Self::MEMORY_LATENCY_LOW_VOLTAGE,
+            },
+            voltage,
+        }
+    }
+
+    /// The baseline configuration at high voltage (Table III, first row).
+    #[must_use]
+    pub fn ispass2010_baseline_high_voltage() -> Self {
+        Self::ispass2010(DisablingScheme::Baseline, VoltageMode::High)
+    }
+
+    /// Attaches the same victim-cache configuration to both L1s.
+    #[must_use]
+    pub fn with_victim_caches(mut self, victim: crate::disabling::VictimCacheConfig) -> Self {
+        self.l1i.victim = Some(victim);
+        self.l1d.victim = Some(victim);
+        self
+    }
+}
+
+/// One L1 cache plus its optional victim cache and latencies.
+#[derive(Debug, Clone)]
+struct L1Side {
+    cache: SetAssocCache,
+    victim: Option<VictimCache>,
+    hit_latency: u32,
+    victim_latency: u32,
+}
+
+impl L1Side {
+    fn build(effective: &EffectiveL1) -> Self {
+        let cache = match &effective.disabled {
+            Some(map) => SetAssocCache::with_block_disabling(effective.geometry, map),
+            None => SetAssocCache::new(effective.geometry),
+        };
+        let victim = if effective.victim_entries > 0 {
+            Some(VictimCache::new(
+                effective.victim_entries,
+                effective.geometry.block_bytes(),
+            ))
+        } else {
+            None
+        };
+        Self {
+            cache,
+            victim,
+            hit_latency: effective.hit_latency,
+            victim_latency: effective.victim_latency,
+        }
+    }
+
+    /// Accesses this L1 (and its victim cache). Returns `(latency so far, served)`
+    /// where `served` is `None` if the request must continue to the next level.
+    fn access(&mut self, addr: u64, write: bool) -> (u32, Option<HitLevel>) {
+        let outcome = self.cache.access(addr, write);
+        if outcome.hit {
+            return (self.hit_latency, Some(HitLevel::L1));
+        }
+        // The demand access allocated (or bypassed); handle the eviction and probe the
+        // victim cache. The probe overlaps with the start of the L2 access, so its
+        // extra cycle is only charged when it actually hits (Table III: 1-cycle
+        // victim-cache latency).
+        if let Some(victim) = &mut self.victim {
+            if let Some(evicted) = outcome.evicted {
+                victim.insert(evicted, outcome.evicted_dirty);
+            }
+            if victim.take(addr).is_some() {
+                // The block moves back into the L1 (it was just allocated by the
+                // demand access unless the set is unusable; in that case it stays in
+                // the victim cache).
+                if outcome.bypassed {
+                    victim.insert(addr, write);
+                }
+                return (self.hit_latency + self.victim_latency, Some(HitLevel::Victim));
+            }
+            (self.hit_latency, None)
+        } else {
+            (self.hit_latency, None)
+        }
+    }
+
+    /// Handles the arrival of a fill from a lower level when the demand access could
+    /// not allocate (set with zero usable ways): stash it in the victim cache so the
+    /// block is not immediately lost.
+    fn fill_bypassed(&mut self, addr: u64, write: bool) {
+        if let Some(victim) = &mut self.victim {
+            victim.insert(addr, write);
+        }
+    }
+
+    fn was_bypassed(&self, addr: u64) -> bool {
+        !self.cache.probe(addr)
+            && !self.victim.as_ref().map(|v| v.probe(addr)).unwrap_or(false)
+    }
+}
+
+/// The full two-level hierarchy.
+#[derive(Debug, Clone)]
+pub struct CacheHierarchy {
+    config: HierarchyConfig,
+    l1i: L1Side,
+    l1d: L1Side,
+    l2: SetAssocCache,
+    memory_accesses: u64,
+}
+
+impl CacheHierarchy {
+    /// Builds a hierarchy with no faults (high-voltage operation, or a baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration requires fault maps (low-voltage block- or
+    /// word-disabling); use [`CacheHierarchy::with_fault_maps`] for those.
+    #[must_use]
+    pub fn new(config: HierarchyConfig) -> Self {
+        Self::with_fault_maps(config, None, None)
+            .expect("configurations without fault maps cannot fail to build")
+    }
+
+    /// Builds a hierarchy, resolving the low-voltage organization of each L1 from the
+    /// provided fault maps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisableError`] if a required fault map is missing or inconsistent,
+    /// or if word-disabling cannot repair one of the maps (whole-cache failure).
+    pub fn with_fault_maps(
+        config: HierarchyConfig,
+        l1i_faults: Option<&FaultMap>,
+        l1d_faults: Option<&FaultMap>,
+    ) -> Result<Self, DisableError> {
+        let l1i_eff = config.l1i.effective_organization(config.voltage, l1i_faults)?;
+        let l1d_eff = config.l1d.effective_organization(config.voltage, l1d_faults)?;
+        Ok(Self {
+            config,
+            l1i: L1Side::build(&l1i_eff),
+            l1d: L1Side::build(&l1d_eff),
+            l2: SetAssocCache::new(config.l2_geometry),
+            memory_accesses: 0,
+        })
+    }
+
+    /// The configuration this hierarchy was built from.
+    #[must_use]
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+
+    /// Accesses the instruction side (a fetch of the block containing `addr`).
+    pub fn access_instr(&mut self, addr: u64) -> AccessResult {
+        Self::access_side(
+            &mut self.l1i,
+            &mut self.l2,
+            &mut self.memory_accesses,
+            self.config.l2_latency,
+            self.config.memory_latency,
+            addr,
+            false,
+        )
+    }
+
+    /// Accesses the data side (`write` = true for stores).
+    pub fn access_data(&mut self, addr: u64, write: bool) -> AccessResult {
+        Self::access_side(
+            &mut self.l1d,
+            &mut self.l2,
+            &mut self.memory_accesses,
+            self.config.l2_latency,
+            self.config.memory_latency,
+            addr,
+            write,
+        )
+    }
+
+    fn access_side(
+        l1: &mut L1Side,
+        l2: &mut SetAssocCache,
+        memory_accesses: &mut u64,
+        l2_latency: u32,
+        memory_latency: u32,
+        addr: u64,
+        write: bool,
+    ) -> AccessResult {
+        let (latency, served) = l1.access(addr, write);
+        if let Some(level) = served {
+            return AccessResult { latency, level };
+        }
+        // L1 (and victim) missed: go to the L2.
+        let l2_outcome = l2.access(addr, false);
+        if l2_outcome.hit {
+            let total = latency + l2_latency;
+            if l1.was_bypassed(addr) {
+                l1.fill_bypassed(addr, write);
+            }
+            return AccessResult {
+                latency: total,
+                level: HitLevel::L2,
+            };
+        }
+        *memory_accesses += 1;
+        let total = latency + l2_latency + memory_latency;
+        if l1.was_bypassed(addr) {
+            l1.fill_bypassed(addr, write);
+        }
+        AccessResult {
+            latency: total,
+            level: HitLevel::Memory,
+        }
+    }
+
+    /// Counters for every structure in the hierarchy.
+    #[must_use]
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            l1i: *self.l1i.cache.stats(),
+            l1d: *self.l1d.cache.stats(),
+            l1i_victim: self
+                .l1i
+                .victim
+                .as_ref()
+                .map(|v| *v.stats())
+                .unwrap_or_else(CacheStats::default),
+            l1d_victim: self
+                .l1d
+                .victim
+                .as_ref()
+                .map(|v| *v.stats())
+                .unwrap_or_else(CacheStats::default),
+            l2: *self.l2.stats(),
+            memory_accesses: self.memory_accesses,
+        }
+    }
+
+    /// Resets every counter (contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.l1i.cache.reset_stats();
+        self.l1d.cache.reset_stats();
+        if let Some(v) = &mut self.l1i.victim {
+            v.reset_stats();
+        }
+        if let Some(v) = &mut self.l1d.victim {
+            v.reset_stats();
+        }
+        self.l2.reset_stats();
+        self.memory_accesses = 0;
+    }
+
+    /// Usable data-side L1 blocks (after block-disabling), useful for reporting.
+    #[must_use]
+    pub fn l1d_usable_blocks(&self) -> u64 {
+        self.l1d.cache.usable_blocks()
+    }
+
+    /// L1 data hit latency in cycles (includes any scheme overhead).
+    #[must_use]
+    pub fn l1d_hit_latency(&self) -> u32 {
+        self.l1d.hit_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disabling::VictimCacheConfig;
+
+    #[test]
+    fn repeated_access_moves_up_the_hierarchy() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::ispass2010_baseline_high_voltage());
+        let first = h.access_data(0x4000, false);
+        assert_eq!(first.level, HitLevel::Memory);
+        assert_eq!(
+            first.latency,
+            3 + HierarchyConfig::L2_LATENCY + HierarchyConfig::MEMORY_LATENCY_HIGH_VOLTAGE
+        );
+        let second = h.access_data(0x4000, false);
+        assert_eq!(second.level, HitLevel::L1);
+        assert_eq!(second.latency, 3);
+    }
+
+    #[test]
+    fn l2_serves_blocks_evicted_from_l1() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::ispass2010_baseline_high_voltage());
+        let geom = CacheGeometry::ispass2010_l1();
+        // Fill one L1 set past its associativity; the first block falls back to L2.
+        let set_stride = geom.sets() * geom.block_bytes();
+        let addrs: Vec<u64> = (0..geom.associativity() + 1).map(|i| i * set_stride).collect();
+        for &a in &addrs {
+            h.access_data(a, false);
+        }
+        let again = h.access_data(addrs[0], false);
+        assert_eq!(again.level, HitLevel::L2);
+        assert_eq!(again.latency, 3 + HierarchyConfig::L2_LATENCY);
+    }
+
+    #[test]
+    fn victim_cache_catches_conflict_misses() {
+        let cfg = HierarchyConfig::ispass2010(DisablingScheme::Baseline, VoltageMode::High)
+            .with_victim_caches(VictimCacheConfig::ispass2010_10t());
+        let mut h = CacheHierarchy::new(cfg);
+        let geom = CacheGeometry::ispass2010_l1();
+        let set_stride = geom.sets() * geom.block_bytes();
+        let addrs: Vec<u64> = (0..geom.associativity() + 1).map(|i| i * set_stride).collect();
+        for &a in &addrs {
+            h.access_data(a, false);
+        }
+        // addrs[0] was just evicted into the victim cache.
+        let again = h.access_data(addrs[0], false);
+        assert_eq!(again.level, HitLevel::Victim);
+        assert_eq!(again.latency, 3 + 1);
+        assert!(h.stats().l1d_victim.hits >= 1);
+    }
+
+    #[test]
+    fn word_disabling_latency_is_longer() {
+        let mut word = CacheHierarchy::new(HierarchyConfig::ispass2010(
+            DisablingScheme::WordDisabling,
+            VoltageMode::High,
+        ));
+        let mut block = CacheHierarchy::new(HierarchyConfig::ispass2010(
+            DisablingScheme::BlockDisabling,
+            VoltageMode::High,
+        ));
+        word.access_data(0x40, false);
+        block.access_data(0x40, false);
+        assert_eq!(word.access_data(0x40, false).latency, 4);
+        assert_eq!(block.access_data(0x40, false).latency, 3);
+    }
+
+    #[test]
+    fn low_voltage_block_disabling_requires_maps_and_reduces_capacity() {
+        let cfg = HierarchyConfig::ispass2010(DisablingScheme::BlockDisabling, VoltageMode::Low);
+        assert!(CacheHierarchy::with_fault_maps(cfg, None, None).is_err());
+
+        let geom = CacheGeometry::ispass2010_l1();
+        let mi = FaultMap::generate(&geom, 0.001, 1);
+        let md = FaultMap::generate(&geom, 0.001, 2);
+        let h = CacheHierarchy::with_fault_maps(cfg, Some(&mi), Some(&md)).unwrap();
+        assert_eq!(h.l1d_usable_blocks(), md.fault_free_blocks());
+        assert!(h.l1d_usable_blocks() < geom.blocks());
+        assert_eq!(h.config().memory_latency, HierarchyConfig::MEMORY_LATENCY_LOW_VOLTAGE);
+    }
+
+    #[test]
+    fn low_voltage_word_disabling_halves_the_l1() {
+        let cfg = HierarchyConfig::ispass2010(DisablingScheme::WordDisabling, VoltageMode::Low);
+        let geom = CacheGeometry::ispass2010_l1();
+        let mi = FaultMap::generate(&geom, 0.001, 5);
+        let md = FaultMap::generate(&geom, 0.001, 6);
+        let mut h = CacheHierarchy::with_fault_maps(cfg, Some(&mi), Some(&md)).unwrap();
+        assert_eq!(h.l1d_usable_blocks(), geom.blocks() / 2);
+        h.access_data(0x40, false);
+        assert_eq!(h.access_data(0x40, false).latency, 4);
+    }
+
+    #[test]
+    fn instruction_and_data_sides_are_independent_l1s() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::ispass2010_baseline_high_voltage());
+        h.access_instr(0x8000);
+        // The data side has not seen this block; it must miss in L1 but hit in L2.
+        let r = h.access_data(0x8000, false);
+        assert_eq!(r.level, HitLevel::L2);
+        let s = h.stats();
+        assert_eq!(s.l1i.accesses, 1);
+        assert_eq!(s.l1d.accesses, 1);
+        assert_eq!(s.l2.accesses, 2);
+        assert_eq!(s.memory_accesses, 1);
+    }
+
+    #[test]
+    fn stats_reset_clears_counters() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::ispass2010_baseline_high_voltage());
+        h.access_data(0x40, true);
+        h.reset_stats();
+        let s = h.stats();
+        assert_eq!(s.l1d.accesses, 0);
+        assert_eq!(s.l2.accesses, 0);
+        assert_eq!(s.memory_accesses, 0);
+        // Contents survive the reset.
+        assert_eq!(h.access_data(0x40, false).level, HitLevel::L1);
+    }
+
+    #[test]
+    fn zero_way_sets_fall_back_to_the_victim_cache() {
+        // Disable every block, attach a victim cache: repeated accesses to the same
+        // block should start hitting in the victim cache.
+        let geom = CacheGeometry::ispass2010_l1();
+        let cfg = HierarchyConfig::ispass2010(DisablingScheme::BlockDisabling, VoltageMode::Low)
+            .with_victim_caches(VictimCacheConfig::ispass2010_10t());
+        let all_faulty = FaultMap::generate(&geom, 1.0, 0);
+        let mut h = CacheHierarchy::with_fault_maps(cfg, Some(&all_faulty), Some(&all_faulty)).unwrap();
+        let first = h.access_data(0x40, false);
+        assert_eq!(first.level, HitLevel::Memory);
+        let second = h.access_data(0x40, false);
+        assert_eq!(second.level, HitLevel::Victim);
+    }
+}

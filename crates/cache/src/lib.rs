@@ -1,0 +1,45 @@
+//! Cache hierarchy simulator with support for operation below Vcc-min.
+//!
+//! This crate provides the memory-system substrate of the ISPASS 2010 reproduction:
+//!
+//! * [`SetAssocCache`] — a set-associative cache with true-LRU replacement whose
+//!   per-set usable ways can be restricted by a fault map (block-disabling);
+//! * [`VictimCache`] — a small fully-associative victim buffer (Jouppi-style) that
+//!   captures blocks evicted from an L1 and serves them back on a miss;
+//! * [`DisablingScheme`] and [`LowVoltageConfig`] — the cache organizations the paper
+//!   compares: baseline, block-disabling and word-disabling, each at high and low
+//!   voltage;
+//! * [`CacheHierarchy`] — L1 instruction + data caches (optionally with victim
+//!   caches), a unified L2 and a flat memory latency, returning per-access latencies
+//!   that the CPU model consumes;
+//! * [`CacheStats`] — hit/miss accounting at every level.
+//!
+//! # Example
+//!
+//! ```
+//! use vccmin_cache::{CacheHierarchy, HierarchyConfig};
+//!
+//! let mut hier = CacheHierarchy::new(HierarchyConfig::ispass2010_baseline_high_voltage());
+//! let first = hier.access_data(0x1000, false);
+//! let second = hier.access_data(0x1000, false);
+//! assert!(second.latency < first.latency, "the second access hits in the L1");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disabling;
+pub mod hierarchy;
+pub mod set_assoc;
+pub mod stats;
+pub mod victim;
+
+pub use disabling::{
+    DisableError, DisablingScheme, EffectiveL1, L1Config, LowVoltageConfig, VictimCacheConfig,
+    VoltageMode,
+};
+pub use hierarchy::{AccessResult, CacheHierarchy, HierarchyConfig, HitLevel};
+pub use set_assoc::{AccessOutcome, SetAssocCache};
+pub use stats::{CacheStats, HierarchyStats};
+pub use vccmin_fault::{CacheGeometry, CellTechnology, FaultMap};
+pub use victim::VictimCache;

@@ -1,0 +1,423 @@
+//! Set-associative cache with true-LRU replacement and per-set way disabling.
+
+use vccmin_fault::{CacheGeometry, FaultMap};
+
+use crate::stats::CacheStats;
+
+/// A way (slot) of a cache set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Way {
+    valid: bool,
+    tag: u64,
+    dirty: bool,
+    /// Smaller = more recently used.
+    lru: u32,
+    /// Whether this way may hold data in the current (low-voltage) mode.
+    usable: bool,
+}
+
+impl Way {
+    fn empty(usable: bool) -> Self {
+        Self {
+            valid: false,
+            tag: 0,
+            dirty: false,
+            lru: u32::MAX,
+            usable,
+        }
+    }
+}
+
+/// Outcome of a single cache lookup (possibly with allocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct AccessOutcome {
+    /// Whether the lookup hit.
+    pub hit: bool,
+    /// Block-aligned address of a block evicted to make room for a fill, if any.
+    pub evicted: Option<u64>,
+    /// Whether the evicted block was dirty (needs write-back).
+    pub evicted_dirty: bool,
+    /// Whether the fill could not be allocated (no usable way in the set).
+    pub bypassed: bool,
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// The cache is a *tag store only* — no data is held, since the simulator only needs
+/// hit/miss behavior and evictions. Ways can be marked unusable per the block-disable
+/// scheme: unusable ways never hit and are never allocated.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    geometry: CacheGeometry,
+    ways: Vec<Way>,
+    lru_clock: u32,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates a cache with every way usable (the high-voltage configuration).
+    #[must_use]
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let n = (geometry.sets() * geometry.associativity()) as usize;
+        Self {
+            geometry,
+            ways: vec![Way::empty(true); n],
+            lru_clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Creates a cache whose faulty blocks (per `fault_map`) are disabled, i.e. the
+    /// block-disabling organization at low voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fault map was generated for a different geometry.
+    #[must_use]
+    pub fn with_block_disabling(geometry: CacheGeometry, fault_map: &FaultMap) -> Self {
+        assert_eq!(
+            fault_map.geometry(),
+            &geometry,
+            "fault map geometry must match the cache geometry"
+        );
+        let mut cache = Self::new(geometry);
+        for set in 0..geometry.sets() {
+            for way in 0..geometry.associativity() {
+                if fault_map.block_is_faulty(set, way) {
+                    cache.way_mut(set, way).usable = false;
+                }
+            }
+        }
+        cache
+    }
+
+    fn way_index(&self, set: u64, way: u64) -> usize {
+        (set * self.geometry.associativity() + way) as usize
+    }
+
+    fn way_mut(&mut self, set: u64, way: u64) -> &mut Way {
+        let i = self.way_index(set, way);
+        &mut self.ways[i]
+    }
+
+    fn way_ref(&self, set: u64, way: u64) -> &Way {
+        &self.ways[self.way_index(set, way)]
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Access statistics accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets the access statistics (contents are preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of usable ways in `set`.
+    #[must_use]
+    pub fn usable_ways(&self, set: u64) -> u64 {
+        (0..self.geometry.associativity())
+            .filter(|&w| self.way_ref(set, w).usable)
+            .count() as u64
+    }
+
+    /// Total number of usable blocks across all sets.
+    #[must_use]
+    pub fn usable_blocks(&self) -> u64 {
+        self.ways.iter().filter(|w| w.usable).count() as u64
+    }
+
+    /// Whether the block containing `addr` is currently present (no LRU update).
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.geometry.set_of(addr);
+        let tag = self.geometry.tag_of(addr);
+        (0..self.geometry.associativity())
+            .any(|w| {
+                let way = self.way_ref(set, w);
+                way.usable && way.valid && way.tag == tag
+            })
+    }
+
+    /// Performs a lookup for `addr`, allocating the block on a miss.
+    ///
+    /// `write` marks the block dirty on a hit or on the fill. Returns whether the
+    /// access hit, and the address of any block evicted by the fill. When the set has
+    /// no usable ways the fill is *bypassed* — the block is simply not cached.
+    pub fn access(&mut self, addr: u64, write: bool) -> AccessOutcome {
+        let set = self.geometry.set_of(addr);
+        let tag = self.geometry.tag_of(addr);
+        self.stats.accesses += 1;
+        self.lru_clock = self.lru_clock.wrapping_add(1);
+        let clock = self.lru_clock;
+
+        // Hit check.
+        for w in 0..self.geometry.associativity() {
+            let way = self.way_mut(set, w);
+            if way.usable && way.valid && way.tag == tag {
+                way.lru = clock;
+                if write {
+                    way.dirty = true;
+                }
+                self.stats.hits += 1;
+                return AccessOutcome {
+                    hit: true,
+                    evicted: None,
+                    evicted_dirty: false,
+                    bypassed: false,
+                };
+            }
+        }
+        self.stats.misses += 1;
+
+        // Fill: prefer an invalid usable way, otherwise evict the LRU usable way.
+        let mut victim: Option<u64> = None;
+        for w in 0..self.geometry.associativity() {
+            let way = self.way_ref(set, w);
+            if !way.usable {
+                continue;
+            }
+            if !way.valid {
+                victim = Some(w);
+                break;
+            }
+            match victim {
+                Some(v) if self.way_ref(set, v).valid => {
+                    if way.lru < self.way_ref(set, v).lru {
+                        victim = Some(w);
+                    }
+                }
+                Some(_) => {}
+                None => victim = Some(w),
+            }
+        }
+
+        let Some(v) = victim else {
+            // No usable way in this set: the block cannot be cached.
+            self.stats.unallocated_fills += 1;
+            return AccessOutcome {
+                hit: false,
+                evicted: None,
+                evicted_dirty: false,
+                bypassed: true,
+            };
+        };
+
+        let geometry = self.geometry;
+        let way = self.way_mut(set, v);
+        let evicted = if way.valid {
+            Some(geometry.block_address(way.tag, set))
+        } else {
+            None
+        };
+        let evicted_dirty = way.valid && way.dirty;
+        way.valid = true;
+        way.tag = tag;
+        way.dirty = write;
+        way.lru = clock;
+        if evicted.is_some() {
+            self.stats.evictions += 1;
+        }
+        AccessOutcome {
+            hit: false,
+            evicted,
+            evicted_dirty,
+            bypassed: false,
+        }
+    }
+
+    /// Inserts a block without counting an access (used when a victim-cache hit moves
+    /// a block back into the L1, or when a fill returns from L2/memory).
+    ///
+    /// The returned outcome reports any evicted block and whether the insertion was
+    /// bypassed because the target set has no usable way.
+    pub fn insert(&mut self, addr: u64, dirty: bool) -> AccessOutcome {
+        let before = self.stats;
+        let outcome = self.access(addr, dirty);
+        // `access` counted this as a miss; undo the accounting so statistics only
+        // reflect demand lookups.
+        self.stats = before;
+        outcome
+    }
+
+    /// Invalidates the block containing `addr` if present, returning whether it was
+    /// present and dirty.
+    pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
+        let set = self.geometry.set_of(addr);
+        let tag = self.geometry.tag_of(addr);
+        for w in 0..self.geometry.associativity() {
+            let way = self.way_mut(set, w);
+            if way.usable && way.valid && way.tag == tag {
+                way.valid = false;
+                return Some(way.dirty);
+            }
+        }
+        None
+    }
+
+    /// Number of valid blocks currently resident.
+    #[must_use]
+    pub fn resident_blocks(&self) -> u64 {
+        self.ways.iter().filter(|w| w.valid).count() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vccmin_fault::CacheGeometry;
+
+    fn small_cache() -> SetAssocCache {
+        // 4 sets, 2 ways, 64B blocks.
+        SetAssocCache::new(CacheGeometry::new(512, 64, 2, 24).unwrap())
+    }
+
+    fn addr(set: u64, tag: u64) -> u64 {
+        (tag << (6 + 2)) | (set << 6)
+    }
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = small_cache();
+        assert!(!c.access(0x1000, false).hit);
+        assert!(c.access(0x1000, false).hit);
+        assert!(c.access(0x1004, false).hit, "same block, different offset");
+        assert_eq!(c.stats().accesses, 3);
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = small_cache();
+        let a = addr(0, 1);
+        let b = addr(0, 2);
+        let d = addr(0, 3);
+        c.access(a, false);
+        c.access(b, false);
+        // Touch `a` so `b` becomes LRU.
+        c.access(a, false);
+        let out = c.access(d, false);
+        assert_eq!(out.evicted, Some(b));
+        // `a` must still hit, `b` must miss.
+        assert!(c.access(a, false).hit);
+        assert!(!c.access(b, false).hit);
+    }
+
+    #[test]
+    fn writes_mark_blocks_dirty_and_eviction_reports_it() {
+        let mut c = small_cache();
+        let a = addr(1, 1);
+        let b = addr(1, 2);
+        let d = addr(1, 3);
+        c.access(a, true);
+        c.access(b, false);
+        let out = c.access(d, false);
+        assert_eq!(out.evicted, Some(a));
+        assert!(out.evicted_dirty);
+    }
+
+    #[test]
+    fn disabled_ways_are_never_used() {
+        let geom = CacheGeometry::ispass2010_l1();
+        let map = vccmin_fault::FaultMap::generate(&geom, 0.05, 3);
+        let c = SetAssocCache::with_block_disabling(geom, &map);
+        assert_eq!(c.usable_blocks(), map.fault_free_blocks());
+        for set in 0..geom.sets() {
+            assert_eq!(c.usable_ways(set), map.usable_ways_in_set(set));
+        }
+    }
+
+    #[test]
+    fn zero_usable_ways_bypasses_fills() {
+        // Disable everything by generating a map at pfail=1.
+        let geom = CacheGeometry::new(512, 64, 2, 24).unwrap();
+        let map = vccmin_fault::FaultMap::generate(&geom, 1.0, 0);
+        let mut c = SetAssocCache::with_block_disabling(geom, &map);
+        let out = c.access(0x40, false);
+        assert!(!out.hit);
+        assert!(out.bypassed);
+        assert!(!c.access(0x40, false).hit, "bypassed block is not cached");
+        assert_eq!(c.stats().unallocated_fills, 2);
+    }
+
+    #[test]
+    fn probe_does_not_change_lru_or_stats() {
+        let mut c = small_cache();
+        c.access(0x1000, false);
+        let stats_before = *c.stats();
+        assert!(c.probe(0x1000));
+        assert!(!c.probe(0x2000));
+        assert_eq!(c.stats(), &stats_before);
+    }
+
+    #[test]
+    fn insert_does_not_count_in_stats() {
+        let mut c = small_cache();
+        let out = c.insert(0x1000, false);
+        assert!(!out.bypassed);
+        assert_eq!(out.evicted, None);
+        assert_eq!(c.stats().accesses, 0);
+        assert!(c.probe(0x1000));
+        assert_eq!(c.resident_blocks(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_block() {
+        let mut c = small_cache();
+        c.access(0x1000, true);
+        assert_eq!(c.invalidate(0x1000), Some(true));
+        assert!(!c.probe(0x1000));
+        assert_eq!(c.invalidate(0x1000), None);
+    }
+
+    #[test]
+    fn hits_plus_misses_equals_accesses() {
+        let mut c = SetAssocCache::new(CacheGeometry::ispass2010_l1());
+        for i in 0..10_000u64 {
+            c.access((i * 97) % 65_536, i % 3 == 0);
+        }
+        let s = c.stats();
+        assert_eq!(s.hits + s.misses, s.accesses);
+        assert_eq!(s.accesses, 10_000);
+    }
+
+    #[test]
+    fn full_capacity_working_set_fits() {
+        // A working set exactly equal to the cache capacity must fully hit on the
+        // second pass (true LRU, power-of-two strides).
+        let geom = CacheGeometry::new(4096, 64, 4, 24).unwrap();
+        let mut c = SetAssocCache::new(geom);
+        let blocks: Vec<u64> = (0..geom.blocks()).map(|i| i * geom.block_bytes()).collect();
+        for &b in &blocks {
+            c.access(b, false);
+        }
+        for &b in &blocks {
+            assert!(c.access(b, false).hit, "block {b:#x} should hit on 2nd pass");
+        }
+    }
+
+    #[test]
+    fn oversized_working_set_thrashes() {
+        let geom = CacheGeometry::new(4096, 64, 4, 24).unwrap();
+        let mut c = SetAssocCache::new(geom);
+        // Working set twice the cache size, accessed cyclically: with true LRU every
+        // access misses.
+        let blocks: Vec<u64> = (0..2 * geom.blocks()).map(|i| i * geom.block_bytes()).collect();
+        for _ in 0..3 {
+            for &b in &blocks {
+                c.access(b, false);
+            }
+        }
+        assert_eq!(c.stats().hits, 0);
+    }
+}

@@ -1,0 +1,643 @@
+//! The cycle-level out-of-order pipeline model.
+//!
+//! Each simulated cycle performs, in back-to-front order: commit, completion,
+//! issue, dispatch and fetch. The model tracks the reorder buffer, the integer and
+//! floating-point issue queues, the load/store queue, per-class functional-unit
+//! availability, register dependences through a rename table, the gshare/RAS front
+//! end, and the instruction- and data-side cache hierarchies.
+//!
+//! Branch mispredictions stall the front end until the branch resolves (issues and
+//! executes); the subsequent pipeline-refill delay is modeled by the front-end depth
+//! every fetched instruction must traverse before dispatch. Wrong-path instructions
+//! themselves are not simulated — their primary performance effect (the refill
+//! bubble) is captured, which is sufficient for the relative cache-organization
+//! comparisons the paper makes.
+
+use std::collections::VecDeque;
+
+use vccmin_cache::CacheHierarchy;
+
+use crate::branch::{BranchPredictor, FrontEndPredictor};
+use crate::config::CpuConfig;
+use crate::instruction::{OpClass, TraceInstruction, NUM_REGS};
+use crate::result::SimResult;
+
+/// A source of trace instructions for the pipeline.
+///
+/// Implemented for every iterator over [`TraceInstruction`], so a `Vec`'s iterator
+/// or a lazily generating workload both work.
+pub trait TraceSource {
+    /// Returns the next instruction of the trace, or `None` when it is exhausted.
+    fn next_instruction(&mut self) -> Option<TraceInstruction>;
+}
+
+impl<I> TraceSource for I
+where
+    I: Iterator<Item = TraceInstruction>,
+{
+    fn next_instruction(&mut self) -> Option<TraceInstruction> {
+        self.next()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    /// Dispatched into the ROB / issue queue, waiting for operands or resources.
+    Waiting,
+    /// Issued to a functional unit, executing.
+    Issued,
+    /// Execution finished; waiting to commit in order.
+    Completed,
+}
+
+#[derive(Debug, Clone)]
+struct RobEntry {
+    seq: u64,
+    op: OpClass,
+    mem_addr: Option<u64>,
+    mispredicted_branch: bool,
+    deps: [Option<u64>; 2],
+    state: EntryState,
+    complete_cycle: u64,
+}
+
+#[derive(Debug, Clone)]
+struct FetchedInstr {
+    seq: u64,
+    instr: TraceInstruction,
+    ready_at: u64,
+    mispredicted: bool,
+}
+
+/// The pipeline model: configuration, branch predictor and cache hierarchy.
+#[derive(Debug)]
+pub struct Pipeline {
+    config: CpuConfig,
+    hierarchy: CacheHierarchy,
+    predictor: FrontEndPredictor,
+}
+
+impl Pipeline {
+    /// Creates a pipeline with the given core configuration and cache hierarchy.
+    #[must_use]
+    pub fn new(config: CpuConfig, hierarchy: CacheHierarchy) -> Self {
+        let predictor = FrontEndPredictor::new(config.gshare_history_bits, config.ras_entries);
+        Self {
+            config,
+            hierarchy,
+            predictor,
+        }
+    }
+
+    /// The cache hierarchy (e.g. to inspect statistics after a run).
+    #[must_use]
+    pub fn hierarchy(&self) -> &CacheHierarchy {
+        &self.hierarchy
+    }
+
+    /// Simulates the trace until it is exhausted or `max_instructions` have been
+    /// committed, and returns the aggregate result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation stops making forward progress (an internal
+    /// invariant violation).
+    pub fn run(
+        &mut self,
+        trace: &mut dyn TraceSource,
+        max_instructions: Option<u64>,
+    ) -> SimResult {
+        let cfg = self.config;
+        let l1i_hit_latency = self.hierarchy.config().l1i.hit_latency();
+        let fetch_limit = max_instructions.unwrap_or(u64::MAX);
+
+        let mut cycle: u64 = 0;
+        let mut committed: u64 = 0;
+        let mut fetched: u64 = 0;
+        let mut loads: u64 = 0;
+        let mut stores: u64 = 0;
+
+        let mut rob: VecDeque<RobEntry> = VecDeque::with_capacity(cfg.rob_entries);
+        let mut fetch_queue: VecDeque<FetchedInstr> = VecDeque::new();
+        let mut pending_fetch: Option<TraceInstruction> = None;
+        let mut trace_done = false;
+
+        // Rename table: architectural register -> seq of the in-flight producer.
+        let mut reg_producer: [Option<u64>; NUM_REGS] = [None; NUM_REGS];
+
+        let mut int_iq = 0usize;
+        let mut fp_iq = 0usize;
+        let mut lsq = 0usize;
+
+        let mut next_seq: u64 = 0;
+        let mut oldest_inflight_seq: u64 = 0; // sequences below this have committed
+
+        // Front-end state.
+        let mut fetch_stall_until: u64 = 0;
+        let mut waiting_branch: Option<u64> = None;
+        let mut current_fetch_block: Option<u64> = None;
+        // The fetch queue models every front-end stage between fetch and dispatch, so
+        // it must hold front_end_depth cycles' worth of fetch bandwidth (plus slack)
+        // or it would artificially throttle the pipeline.
+        let fetch_buffer_capacity = (cfg.fetch_width * (cfg.front_end_depth + 4)) as usize;
+
+        // Progress watchdog.
+        let mut last_progress_cycle: u64 = 0;
+        let mut last_committed: u64 = 0;
+
+        loop {
+            // ------------------------------------------------------------------
+            // 1. Commit: retire completed instructions in order.
+            // ------------------------------------------------------------------
+            let mut commits = 0;
+            while commits < cfg.commit_width {
+                let Some(head) = rob.front() else { break };
+                if head.state != EntryState::Completed || head.complete_cycle > cycle {
+                    break;
+                }
+                let head = rob.pop_front().expect("head exists");
+                if head.op.is_mem() {
+                    lsq -= 1;
+                    if head.op == OpClass::Store {
+                        // Stores update the data cache at retirement; the access
+                        // latency is off the critical path of the pipeline.
+                        if let Some(addr) = head.mem_addr {
+                            self.hierarchy.access_data(addr, true);
+                        }
+                        stores += 1;
+                    } else {
+                        loads += 1;
+                    }
+                }
+                // Clear the rename table if this instruction is still the newest
+                // producer of its destination register.
+                for r in reg_producer.iter_mut() {
+                    if *r == Some(head.seq) {
+                        *r = None;
+                    }
+                }
+                oldest_inflight_seq = head.seq + 1;
+                committed += 1;
+                commits += 1;
+            }
+
+            // ------------------------------------------------------------------
+            // 2. Completion: mark issued instructions whose execution finished.
+            // ------------------------------------------------------------------
+            for entry in rob.iter_mut() {
+                if entry.state == EntryState::Issued && entry.complete_cycle <= cycle {
+                    entry.state = EntryState::Completed;
+                    if entry.mispredicted_branch && waiting_branch == Some(entry.seq) {
+                        // The branch resolved: the front end may restart next cycle.
+                        waiting_branch = None;
+                        fetch_stall_until = fetch_stall_until.max(cycle + 1);
+                    }
+                }
+            }
+
+            // ------------------------------------------------------------------
+            // 3. Issue: select ready instructions, oldest first.
+            // ------------------------------------------------------------------
+            let mut issued_this_cycle = 0u32;
+            let mut int_alu_used = 0u32;
+            let mut int_mul_used = 0u32;
+            let mut fp_alu_used = 0u32;
+            let mut fp_mul_used = 0u32;
+            let mut mem_ports_used = 0u32;
+            // Collect the completion status needed for dependence checks first to
+            // avoid borrowing issues: a dependence is satisfied if the producer has
+            // already committed (seq < oldest_inflight_seq) or is completed in the ROB.
+            let completed_flags: Vec<(u64, bool)> = rob
+                .iter()
+                .map(|e| (e.seq, e.state == EntryState::Completed && e.complete_cycle <= cycle))
+                .collect();
+            let is_ready = |dep: u64, oldest: u64, flags: &[(u64, bool)]| -> bool {
+                if dep < oldest {
+                    return true;
+                }
+                flags
+                    .iter()
+                    .find(|(s, _)| *s == dep)
+                    .map(|(_, done)| *done)
+                    .unwrap_or(true)
+            };
+
+            for entry in rob.iter_mut() {
+                if issued_this_cycle >= cfg.issue_width {
+                    break;
+                }
+                if entry.state != EntryState::Waiting {
+                    continue;
+                }
+                let deps_ready = entry.deps.iter().all(|d| match d {
+                    Some(dep) => is_ready(*dep, oldest_inflight_seq, &completed_flags),
+                    None => true,
+                });
+                if !deps_ready {
+                    continue;
+                }
+                // Functional-unit availability.
+                let (used, limit): (&mut u32, u32) = match entry.op {
+                    OpClass::IntAlu | OpClass::Branch => (&mut int_alu_used, cfg.int_alus),
+                    OpClass::IntMul => (&mut int_mul_used, cfg.int_muls),
+                    OpClass::FpAlu => (&mut fp_alu_used, cfg.fp_alus),
+                    OpClass::FpMul => (&mut fp_mul_used, cfg.fp_muls),
+                    OpClass::Load | OpClass::Store => (&mut mem_ports_used, cfg.mem_ports),
+                };
+                if *used >= limit {
+                    continue;
+                }
+                *used += 1;
+                issued_this_cycle += 1;
+
+                // Execution latency.
+                let latency = match entry.op {
+                    OpClass::Load => {
+                        let addr = entry.mem_addr.expect("loads carry an address");
+                        let access = self.hierarchy.access_data(addr, false);
+                        access.latency
+                    }
+                    other => cfg.exec_latency(other),
+                };
+                entry.state = EntryState::Issued;
+                entry.complete_cycle = cycle + u64::from(latency.max(1));
+                // Leaving the issue queue frees its entry.
+                if entry.op.is_fp() {
+                    fp_iq -= 1;
+                } else {
+                    int_iq -= 1;
+                }
+            }
+
+            // ------------------------------------------------------------------
+            // 4. Dispatch: move fetched instructions into the ROB / issue queues.
+            // ------------------------------------------------------------------
+            let mut dispatched = 0;
+            while dispatched < cfg.decode_width {
+                let Some(front) = fetch_queue.front() else { break };
+                if front.ready_at > cycle || rob.len() >= cfg.rob_entries {
+                    break;
+                }
+                let needs_fp = front.instr.op.is_fp();
+                if needs_fp && fp_iq >= cfg.fp_iq_entries {
+                    break;
+                }
+                if !needs_fp && int_iq >= cfg.int_iq_entries {
+                    break;
+                }
+                if front.instr.is_mem() && lsq >= cfg.lsq_entries {
+                    break;
+                }
+                let fetched_instr = fetch_queue.pop_front().expect("front exists");
+                let instr = fetched_instr.instr;
+                let mut deps = [None, None];
+                for (slot, src) in instr.srcs.iter().enumerate() {
+                    if let Some(reg) = src {
+                        deps[slot] = reg_producer[*reg as usize];
+                    }
+                }
+                if let Some(dest) = instr.dest {
+                    reg_producer[dest as usize] = Some(fetched_instr.seq);
+                }
+                if needs_fp {
+                    fp_iq += 1;
+                } else {
+                    int_iq += 1;
+                }
+                if instr.is_mem() {
+                    lsq += 1;
+                }
+                rob.push_back(RobEntry {
+                    seq: fetched_instr.seq,
+                    op: instr.op,
+                    mem_addr: instr.mem_addr,
+                    mispredicted_branch: fetched_instr.mispredicted,
+                    deps,
+                    state: EntryState::Waiting,
+                    complete_cycle: u64::MAX,
+                });
+                dispatched += 1;
+            }
+
+            // ------------------------------------------------------------------
+            // 5. Fetch: pull new instructions from the trace.
+            // ------------------------------------------------------------------
+            if waiting_branch.is_none() && cycle >= fetch_stall_until && !trace_done {
+                let mut fetched_this_cycle = 0;
+                while fetched_this_cycle < cfg.fetch_width
+                    && fetch_queue.len() < fetch_buffer_capacity
+                    && fetched < fetch_limit
+                {
+                    let instr = match pending_fetch.take() {
+                        Some(i) => i,
+                        None => match trace.next_instruction() {
+                            Some(i) => i,
+                            None => {
+                                trace_done = true;
+                                break;
+                            }
+                        },
+                    };
+                    // Instruction-cache access on a fetch-block change.
+                    let block = instr.pc & !63;
+                    if current_fetch_block != Some(block) {
+                        let access = self.hierarchy.access_instr(instr.pc);
+                        current_fetch_block = Some(block);
+                        let extra = access.latency.saturating_sub(l1i_hit_latency);
+                        if extra > 0 {
+                            // The block is not available yet: stall the front end and
+                            // retry this instruction when it arrives.
+                            pending_fetch = Some(instr);
+                            fetch_stall_until = cycle + u64::from(extra);
+                            break;
+                        }
+                    }
+
+                    let seq = next_seq;
+                    next_seq += 1;
+                    fetched += 1;
+                    fetched_this_cycle += 1;
+
+                    let mut mispredicted = false;
+                    let mut taken = false;
+                    if let Some(branch) = &instr.branch {
+                        let correct = self.predictor.predict_and_update(instr.pc, branch);
+                        mispredicted = !correct;
+                        taken = branch.taken;
+                        if taken {
+                            // A taken branch redirects fetch to a new block.
+                            current_fetch_block = None;
+                        }
+                    }
+                    fetch_queue.push_back(FetchedInstr {
+                        seq,
+                        instr,
+                        ready_at: cycle + u64::from(cfg.front_end_depth),
+                        mispredicted,
+                    });
+                    if mispredicted {
+                        waiting_branch = Some(seq);
+                        break;
+                    }
+                    if taken {
+                        // At most one taken branch per fetch cycle.
+                        break;
+                    }
+                }
+                if fetched >= fetch_limit {
+                    trace_done = true;
+                }
+            }
+
+            // ------------------------------------------------------------------
+            // Termination and watchdog.
+            // ------------------------------------------------------------------
+            if trace_done && rob.is_empty() && fetch_queue.is_empty() && pending_fetch.is_none() {
+                break;
+            }
+            if committed > last_committed {
+                last_committed = committed;
+                last_progress_cycle = cycle;
+            }
+            assert!(
+                cycle - last_progress_cycle < 1_000_000,
+                "pipeline made no forward progress for 1M cycles (deadlock?)"
+            );
+            cycle += 1;
+        }
+
+        SimResult {
+            instructions: committed,
+            cycles: cycle.max(1),
+            loads,
+            stores,
+            conditional_branches: self.predictor.conditional_branches,
+            branch_mispredictions: self.predictor.mispredictions,
+            hierarchy: self.hierarchy.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::{BranchInfo, BranchKind};
+    use vccmin_cache::{DisablingScheme, HierarchyConfig, VoltageMode};
+
+    fn baseline_pipeline() -> Pipeline {
+        Pipeline::new(
+            CpuConfig::ispass2010(),
+            CacheHierarchy::new(HierarchyConfig::ispass2010_baseline_high_voltage()),
+        )
+    }
+
+    fn run(trace: Vec<TraceInstruction>) -> SimResult {
+        baseline_pipeline().run(&mut trace.into_iter(), None)
+    }
+
+    #[test]
+    fn empty_trace_produces_empty_result() {
+        let r = run(vec![]);
+        assert_eq!(r.instructions, 0);
+        assert!(r.cycles >= 1);
+    }
+
+    #[test]
+    fn committed_instruction_count_equals_trace_length() {
+        let trace: Vec<_> = (0..5_000)
+            .map(|i| TraceInstruction::alu(0x1000 + i * 4, OpClass::IntAlu))
+            .collect();
+        let r = run(trace);
+        assert_eq!(r.instructions, 5_000);
+    }
+
+    #[test]
+    fn independent_alu_ops_reach_multi_issue_ipc() {
+        let trace: Vec<_> = (0..20_000)
+            .map(|i| TraceInstruction::alu(0x1000 + (i % 256) * 4, OpClass::IntAlu))
+            .collect();
+        let r = run(trace);
+        assert!(
+            r.ipc() > 2.0,
+            "independent single-cycle ops should exceed IPC 2, got {}",
+            r.ipc()
+        );
+        assert!(r.ipc() <= 4.0 + 1e-9, "IPC cannot exceed the commit width");
+    }
+
+    #[test]
+    fn ipc_never_exceeds_commit_width() {
+        let trace: Vec<_> = (0..10_000)
+            .map(|i| TraceInstruction::alu(0x2000 + (i % 64) * 4, OpClass::IntAlu))
+            .collect();
+        let r = run(trace);
+        assert!(r.ipc() <= 4.0 + 1e-9);
+        assert!(r.cycles >= 10_000 / 4);
+    }
+
+    #[test]
+    fn dependent_chain_limits_ipc_to_one() {
+        // Every instruction depends on the previous one through register 1.
+        let trace: Vec<_> = (0..5_000)
+            .map(|i| {
+                TraceInstruction::alu(0x3000 + (i % 64) * 4, OpClass::IntAlu)
+                    .with_dest(1)
+                    .with_srcs(Some(1), None)
+            })
+            .collect();
+        let r = run(trace);
+        assert!(
+            r.ipc() <= 1.05,
+            "a serial dependence chain cannot exceed IPC 1, got {}",
+            r.ipc()
+        );
+    }
+
+    #[test]
+    fn fp_heavy_code_is_limited_by_the_single_fp_alu() {
+        let fp_trace: Vec<_> = (0..5_000)
+            .map(|i| TraceInstruction::alu(0x4000 + (i % 64) * 4, OpClass::FpAlu).with_dest(40))
+            .collect();
+        let int_trace: Vec<_> = (0..5_000)
+            .map(|i| TraceInstruction::alu(0x4000 + (i % 64) * 4, OpClass::IntAlu).with_dest(4))
+            .collect();
+        let fp = run(fp_trace);
+        let int = run(int_trace);
+        assert!(fp.ipc() <= 1.05, "1 FP ALU bounds FP IPC at 1, got {}", fp.ipc());
+        assert!(int.ipc() > fp.ipc());
+    }
+
+    #[test]
+    fn cache_missing_loads_are_slower_than_hitting_loads() {
+        // Hitting loads: a tiny working set. Missing loads: a huge stride.
+        let hits: Vec<_> = (0..5_000)
+            .map(|i| TraceInstruction::load(0x5000 + (i % 16) * 4, 0x100_0000 + (i % 64) * 4, 2))
+            .collect();
+        let misses: Vec<_> = (0..5_000)
+            .map(|i| TraceInstruction::load(0x5000 + (i % 16) * 4, 0x100_0000 + i * 4096, 2))
+            .collect();
+        let fast = run(hits);
+        let slow = run(misses);
+        assert!(
+            fast.ipc() > slow.ipc() * 1.5,
+            "missing loads should be much slower: {} vs {}",
+            fast.ipc(),
+            slow.ipc()
+        );
+        assert!(slow.hierarchy.l1d.miss_rate() > 0.9);
+        assert!(fast.hierarchy.l1d.miss_rate() < 0.1);
+    }
+
+    #[test]
+    fn mispredicted_branches_cost_pipeline_refills() {
+        // Alternating taken/not-taken is learned by gshare; a pseudo-random pattern
+        // is not. The random pattern must run slower.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let random: Vec<_> = (0..20_000)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                TraceInstruction::conditional_branch(0x6000 + (i % 512) * 4, state & 1 == 1, 0x7000)
+            })
+            .collect();
+        let predictable: Vec<_> = (0..20_000)
+            .map(|i| TraceInstruction::conditional_branch(0x6000 + (i % 512) * 4, true, 0x7000))
+            .collect();
+        let r_random = run(random);
+        let r_predictable = run(predictable);
+        assert!(r_random.branch_mispredict_rate() > 0.3);
+        assert!(r_predictable.branch_mispredict_rate() < 0.05);
+        assert!(
+            r_predictable.ipc() > r_random.ipc() * 1.5,
+            "mispredictions should hurt: {} vs {}",
+            r_predictable.ipc(),
+            r_random.ipc()
+        );
+    }
+
+    #[test]
+    fn max_instructions_caps_the_run() {
+        let trace: Vec<_> = (0..10_000)
+            .map(|i| TraceInstruction::alu(0x1000 + i * 4, OpClass::IntAlu))
+            .collect();
+        let r = baseline_pipeline().run(&mut trace.into_iter(), Some(1_000));
+        assert_eq!(r.instructions, 1_000);
+    }
+
+    #[test]
+    fn stores_update_the_data_cache_at_commit() {
+        let trace: Vec<_> = (0..1_000)
+            .map(|i| TraceInstruction::store(0x8000 + (i % 16) * 4, 0x20_0000 + (i % 8) * 64, 3))
+            .collect();
+        let r = run(trace);
+        assert_eq!(r.stores, 1_000);
+        assert!(r.hierarchy.l1d.accesses >= 1_000);
+    }
+
+    #[test]
+    fn calls_and_returns_use_the_ras() {
+        let mut trace = Vec::new();
+        for i in 0..500u64 {
+            let call_pc = 0x9000 + i * 16;
+            trace.push(TraceInstruction {
+                pc: call_pc,
+                op: OpClass::Branch,
+                dest: None,
+                srcs: [None, None],
+                mem_addr: None,
+                branch: Some(BranchInfo {
+                    kind: BranchKind::Call,
+                    taken: true,
+                    target: 0xf000,
+                }),
+            });
+            trace.push(TraceInstruction::alu(0xf000, OpClass::IntAlu));
+            trace.push(TraceInstruction {
+                pc: 0xf004,
+                op: OpClass::Branch,
+                dest: None,
+                srcs: [None, None],
+                mem_addr: None,
+                branch: Some(BranchInfo {
+                    kind: BranchKind::Return,
+                    taken: true,
+                    target: call_pc + 4,
+                }),
+            });
+        }
+        let r = run(trace);
+        assert_eq!(r.instructions, 1_500);
+        // Well-nested call/return pairs should be predicted almost perfectly.
+        assert!(r.branch_mispredictions < 10);
+    }
+
+    #[test]
+    fn word_disabled_hierarchy_is_slower_for_l1_resident_loads() {
+        // A load-heavy loop whose working set fits in the L1: the extra cycle of
+        // word-disabling shows up directly in the load-use latency.
+        let make_trace = || -> Vec<TraceInstruction> {
+            (0..20_000)
+                .map(|i| {
+                    TraceInstruction::load(0x5000 + (i % 16) * 4, 0x40_0000 + (i % 128) * 64, 2)
+                        .with_srcs(Some(2), None)
+                })
+                .collect()
+        };
+        let baseline = run(make_trace());
+        let mut word_pipeline = Pipeline::new(
+            CpuConfig::ispass2010(),
+            CacheHierarchy::new(HierarchyConfig::ispass2010(
+                DisablingScheme::WordDisabling,
+                VoltageMode::High,
+            )),
+        );
+        let word = word_pipeline.run(&mut make_trace().into_iter(), None);
+        assert!(
+            word.ipc() < baseline.ipc(),
+            "word-disabling's extra L1 cycle must cost performance: {} vs {}",
+            word.ipc(),
+            baseline.ipc()
+        );
+    }
+}

@@ -1,0 +1,177 @@
+//! `vccmin-repro` — command-line reproduction driver.
+//!
+//! Regenerates any table or figure of *Performance-Effective Operation below
+//! Vcc-min* (ISPASS 2010). Analytical figures (1, 3–7) and the overhead table are
+//! instantaneous; the simulation figures (8–12) run a scaled-down campaign by
+//! default (override with `--instructions` and `--pairs`).
+//!
+//! ```text
+//! vccmin-repro <target> [--instructions N] [--pairs K] [--seed S] [--csv]
+//!     target: fig1 fig3 fig4 fig5 fig6 fig7 table1 fig8 fig9 fig10 fig11 fig12
+//!             analysis (figs 1,3-7 + table1)   lowvolt (figs 8-10)
+//!             highvolt (figs 11-12)            all
+//! ```
+
+use std::env;
+use std::process::ExitCode;
+
+use vccmin_experiments::analysis_figures as af;
+use vccmin_experiments::report::FigureTable;
+use vccmin_experiments::simulation::{HighVoltageStudy, LowVoltageStudy, SimulationParams};
+use vccmin_experiments::OverheadTable;
+
+struct Options {
+    target: String,
+    params: SimulationParams,
+    csv: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = env::args().skip(1);
+    let target = args.next().ok_or_else(usage)?;
+    let mut params = SimulationParams::quick();
+    let mut csv = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--instructions" => {
+                let v = args.next().ok_or("--instructions needs a value")?;
+                params.instructions = v.parse().map_err(|e| format!("bad instruction count: {e}"))?;
+            }
+            "--pairs" => {
+                let v = args.next().ok_or("--pairs needs a value")?;
+                params.fault_map_pairs = v.parse().map_err(|e| format!("bad pair count: {e}"))?;
+            }
+            "--seed" => {
+                let v = args.next().ok_or("--seed needs a value")?;
+                params.master_seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
+            }
+            "--pfail" => {
+                let v = args.next().ok_or("--pfail needs a value")?;
+                params.pfail = v.parse().map_err(|e| format!("bad pfail: {e}"))?;
+            }
+            "--csv" => csv = true,
+            other => return Err(format!("unknown option {other}\n{}", usage())),
+        }
+    }
+    Ok(Options { target, params, csv })
+}
+
+fn usage() -> String {
+    "usage: vccmin-repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|analysis|lowvolt|highvolt|all> [--instructions N] [--pairs K] [--seed S] [--pfail P] [--csv]".to_string()
+}
+
+fn emit(table: &FigureTable, csv: bool) {
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("{table}");
+    }
+}
+
+fn print_table1() {
+    let table = OverheadTable::ispass2010();
+    println!("Table I: overhead comparison of the disabling schemes");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>10} {:>12}",
+        "scheme", "tag", "disable", "victim $", "align net", "total"
+    );
+    for row in table.rows() {
+        println!(
+            "{:<24} {:>12} {:>12} {:>12} {:>10} {:>12}",
+            row.scheme,
+            row.tag_transistors,
+            row.disable_transistors,
+            row.victim_transistors,
+            if row.alignment_network { "yes" } else { "no" },
+            row.total_transistors
+        );
+    }
+    println!();
+}
+
+fn run_analysis(csv: bool) {
+    emit(&af::figure1(af::DEFAULT_STEPS), csv);
+    emit(&af::figure3(af::DEFAULT_STEPS), csv);
+    emit(&af::figure4(), csv);
+    emit(&af::figure5(af::DEFAULT_STEPS), csv);
+    emit(&af::figure6(af::DEFAULT_STEPS), csv);
+    emit(&af::figure7(af::DEFAULT_STEPS), csv);
+    print_table1();
+}
+
+fn run_lowvolt(params: &SimulationParams, csv: bool) {
+    eprintln!(
+        "running low-voltage campaign: {} benchmarks x {} fault-map pairs x {} instructions",
+        params.benchmarks.len(),
+        params.fault_map_pairs,
+        params.instructions
+    );
+    let study = LowVoltageStudy::run(params);
+    emit(&study.figure8(), csv);
+    emit(&study.figure9(), csv);
+    emit(&study.figure10(), csv);
+    let word = study.average_normalized(
+        vccmin_experiments::SchemeConfig::WordDisabling,
+        vccmin_experiments::SchemeConfig::Baseline,
+    );
+    let block = study.average_normalized(
+        vccmin_experiments::SchemeConfig::BlockDisabling,
+        vccmin_experiments::SchemeConfig::Baseline,
+    );
+    let block_vc = study.average_normalized(
+        vccmin_experiments::SchemeConfig::BlockDisablingVictim10T,
+        vccmin_experiments::SchemeConfig::Baseline,
+    );
+    println!(
+        "summary: avg normalized performance  word={:.1}%  block={:.1}%  block+V$={:.1}%  (block+V$ improves on word by {:.1}%)",
+        100.0 * word,
+        100.0 * block,
+        100.0 * block_vc,
+        100.0 * (block_vc / word - 1.0)
+    );
+}
+
+fn run_highvolt(params: &SimulationParams, csv: bool) {
+    eprintln!(
+        "running high-voltage campaign: {} benchmarks x {} instructions",
+        params.benchmarks.len(),
+        params.instructions
+    );
+    let study = HighVoltageStudy::run(params);
+    emit(&study.figure11(), csv);
+    emit(&study.figure12(), csv);
+}
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let p = &options.params;
+    let csv = options.csv;
+    match options.target.as_str() {
+        "fig1" => emit(&af::figure1(af::DEFAULT_STEPS), csv),
+        "fig3" => emit(&af::figure3(af::DEFAULT_STEPS), csv),
+        "fig4" => emit(&af::figure4(), csv),
+        "fig5" => emit(&af::figure5(af::DEFAULT_STEPS), csv),
+        "fig6" => emit(&af::figure6(af::DEFAULT_STEPS), csv),
+        "fig7" => emit(&af::figure7(af::DEFAULT_STEPS), csv),
+        "table1" => print_table1(),
+        "analysis" => run_analysis(csv),
+        "fig8" | "fig9" | "fig10" | "lowvolt" => run_lowvolt(p, csv),
+        "fig11" | "fig12" | "highvolt" => run_highvolt(p, csv),
+        "all" => {
+            run_analysis(csv);
+            run_lowvolt(p, csv);
+            run_highvolt(p, csv);
+        }
+        other => {
+            eprintln!("unknown target {other}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

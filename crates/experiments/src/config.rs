@@ -1,0 +1,158 @@
+//! The named cache configurations of Table III of the paper.
+
+use vccmin_cache::{
+    DisablingScheme, HierarchyConfig, VictimCacheConfig, VoltageMode,
+};
+
+/// One of the cache configurations compared in the paper's evaluation (Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeConfig {
+    /// Idealized fault-free cache, no victim cache (normalization reference of
+    /// Figs. 8, 10 and 11).
+    Baseline,
+    /// Idealized fault-free cache with a 16-entry 10T victim cache (normalization
+    /// reference of Figs. 9 and 12).
+    BaselineVictim,
+    /// Word-disabling (Wilkerson et al.): halved capacity/associativity at low
+    /// voltage, +1 cycle L1 latency at both voltages.
+    WordDisabling,
+    /// Word-disabling with a 16-entry victim cache.
+    WordDisablingVictim,
+    /// Block-disabling (this paper), no victim cache.
+    BlockDisabling,
+    /// Block-disabling with a 16-entry 10T victim cache (all entries usable at low
+    /// voltage).
+    BlockDisablingVictim10T,
+    /// Block-disabling with a 16-entry 6T victim cache (half the entries assumed
+    /// usable at low voltage).
+    BlockDisablingVictim6T,
+}
+
+/// Every configuration whose low-voltage behavior the paper reports.
+pub const ALL_LOW_VOLTAGE_SCHEMES: [SchemeConfig; 7] = [
+    SchemeConfig::Baseline,
+    SchemeConfig::BaselineVictim,
+    SchemeConfig::WordDisabling,
+    SchemeConfig::WordDisablingVictim,
+    SchemeConfig::BlockDisabling,
+    SchemeConfig::BlockDisablingVictim10T,
+    SchemeConfig::BlockDisablingVictim6T,
+];
+
+impl SchemeConfig {
+    /// Human-readable label, matching the figure legends of the paper.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Baseline => "baseline",
+            Self::BaselineVictim => "baseline+V$",
+            Self::WordDisabling => "word disabling",
+            Self::WordDisablingVictim => "word disabling+V$",
+            Self::BlockDisabling => "block disabling",
+            Self::BlockDisablingVictim10T => "block disabling+V$ 10T",
+            Self::BlockDisablingVictim6T => "block disabling+V$ 6T",
+        }
+    }
+
+    /// The underlying disabling scheme.
+    #[must_use]
+    pub fn scheme(self) -> DisablingScheme {
+        match self {
+            Self::Baseline | Self::BaselineVictim => DisablingScheme::Baseline,
+            Self::WordDisabling | Self::WordDisablingVictim => DisablingScheme::WordDisabling,
+            Self::BlockDisabling
+            | Self::BlockDisablingVictim10T
+            | Self::BlockDisablingVictim6T => DisablingScheme::BlockDisabling,
+        }
+    }
+
+    /// The victim-cache configuration attached to the L1s, if any.
+    #[must_use]
+    pub fn victim(self) -> Option<VictimCacheConfig> {
+        match self {
+            Self::Baseline | Self::WordDisabling | Self::BlockDisabling => None,
+            Self::BaselineVictim | Self::WordDisablingVictim | Self::BlockDisablingVictim10T => {
+                Some(VictimCacheConfig::ispass2010_10t())
+            }
+            Self::BlockDisablingVictim6T => Some(VictimCacheConfig::ispass2010_6t()),
+        }
+    }
+
+    /// Whether the configuration's low-voltage behavior depends on the sampled fault
+    /// map (and therefore must be evaluated over many maps).
+    #[must_use]
+    pub fn fault_dependent(self) -> bool {
+        !matches!(self, Self::Baseline | Self::BaselineVictim)
+    }
+
+    /// Builds the full hierarchy configuration of Table III for this scheme at the
+    /// given voltage.
+    #[must_use]
+    pub fn hierarchy_config(self, voltage: VoltageMode) -> HierarchyConfig {
+        let base = HierarchyConfig::ispass2010(self.scheme(), voltage);
+        match self.victim() {
+            Some(v) => base.with_victim_caches(v),
+            None => base,
+        }
+    }
+}
+
+impl std::fmt::Display for SchemeConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vccmin_cache::CellTechnology;
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            ALL_LOW_VOLTAGE_SCHEMES.iter().map(|s| s.label()).collect();
+        assert_eq!(labels.len(), ALL_LOW_VOLTAGE_SCHEMES.len());
+    }
+
+    #[test]
+    fn baseline_configurations_are_fault_independent() {
+        assert!(!SchemeConfig::Baseline.fault_dependent());
+        assert!(!SchemeConfig::BaselineVictim.fault_dependent());
+        assert!(SchemeConfig::BlockDisabling.fault_dependent());
+        assert!(SchemeConfig::WordDisabling.fault_dependent());
+    }
+
+    #[test]
+    fn victim_cell_technologies_match_the_paper() {
+        assert_eq!(
+            SchemeConfig::BlockDisablingVictim10T.victim().unwrap().technology,
+            CellTechnology::TenT
+        );
+        assert_eq!(
+            SchemeConfig::BlockDisablingVictim6T.victim().unwrap().technology,
+            CellTechnology::SixT
+        );
+        assert!(SchemeConfig::BlockDisabling.victim().is_none());
+    }
+
+    #[test]
+    fn hierarchy_configs_follow_table_three() {
+        let low = SchemeConfig::WordDisabling.hierarchy_config(VoltageMode::Low);
+        assert_eq!(low.memory_latency, HierarchyConfig::MEMORY_LATENCY_LOW_VOLTAGE);
+        assert_eq!(low.l1d.hit_latency(), 4);
+        let high = SchemeConfig::BlockDisabling.hierarchy_config(VoltageMode::High);
+        assert_eq!(high.memory_latency, HierarchyConfig::MEMORY_LATENCY_HIGH_VOLTAGE);
+        assert_eq!(high.l1d.hit_latency(), 3);
+        assert!(SchemeConfig::BaselineVictim
+            .hierarchy_config(VoltageMode::High)
+            .l1d
+            .victim
+            .is_some());
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(SchemeConfig::BlockDisabling.to_string(), "block disabling");
+    }
+}

@@ -1,0 +1,42 @@
+//! Experiment harness reproducing the tables and figures of
+//! *Performance-Effective Operation below Vcc-min* (ISPASS 2010).
+//!
+//! The crate glues the other `vccmin` crates together into the paper's evaluation:
+//!
+//! * [`analysis_figures`] — the closed-form series of Figs. 1 and 3–7 (probability
+//!   analysis) for the paper's cache geometry;
+//! * [`overhead`] — the transistor-count comparison of Table I;
+//! * [`config`] — the named cache configurations of Table III (baseline,
+//!   word-disabling, block-disabling, with and without victim caches, at high and
+//!   low voltage);
+//! * [`simulation`] — the simulation campaigns behind Figs. 8–12: every SPEC-like
+//!   benchmark, every configuration, multiple random fault-map pairs, reported as
+//!   mean and minimum normalized performance;
+//! * [`report`] — plain-text rendering of series and tables, used by the example
+//!   binaries, the `vccmin-repro` CLI and the benches.
+//!
+//! # Example
+//!
+//! Reproduce a scaled-down Fig. 8 (low-voltage performance, normalized to the
+//! baseline without victim cache):
+//!
+//! ```no_run
+//! use vccmin_experiments::simulation::{LowVoltageStudy, SimulationParams};
+//!
+//! let params = SimulationParams::quick();
+//! let study = LowVoltageStudy::run(&params);
+//! println!("{}", study.figure8());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis_figures;
+pub mod config;
+pub mod overhead;
+pub mod report;
+pub mod simulation;
+
+pub use config::{SchemeConfig, ALL_LOW_VOLTAGE_SCHEMES};
+pub use overhead::{OverheadRow, OverheadTable};
+pub use simulation::{BenchmarkResult, HighVoltageStudy, LowVoltageStudy, SimulationParams};

@@ -1,0 +1,233 @@
+//! Hardware-overhead comparison of the disabling schemes (Table I of the paper).
+//!
+//! The table counts SRAM cell transistors for the tag array, the disable bits, the
+//! victim cache and notes whether an alignment network is required, for a 32 KB
+//! 8-way 64 B/block cache with a 24-bit tag, 6-bit index, 6-bit offset and one valid
+//! bit (512 blocks, 25 tag+valid bits per block) and a 16-entry victim cache whose
+//! entries hold 64-byte blocks with 31 bits of tag/metadata.
+
+/// Transistor counts of a 6T and a 10T SRAM cell.
+const T6: u64 = 6;
+const T10: u64 = 10;
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverheadRow {
+    /// Scheme name as printed in the paper.
+    pub scheme: &'static str,
+    /// Transistors spent on the tag array (tag + valid bits).
+    pub tag_transistors: u64,
+    /// Transistors spent on disable bits / fault masks.
+    pub disable_transistors: u64,
+    /// Transistors spent on the victim cache (tag + data), if any.
+    pub victim_transistors: u64,
+    /// Whether the scheme needs an alignment network in the data path.
+    pub alignment_network: bool,
+    /// Total transistor count (sum of the previous columns).
+    pub total_transistors: u64,
+}
+
+impl OverheadRow {
+    fn new(
+        scheme: &'static str,
+        tag: u64,
+        disable: u64,
+        victim: u64,
+        alignment_network: bool,
+    ) -> Self {
+        Self {
+            scheme,
+            tag_transistors: tag,
+            disable_transistors: disable,
+            victim_transistors: victim,
+            alignment_network,
+            total_transistors: tag + disable + victim,
+        }
+    }
+}
+
+/// Parameters of the cache whose overhead Table I accounts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OverheadParams {
+    /// Number of blocks in the cache (512).
+    pub blocks: u64,
+    /// Tag + valid bits per block (25).
+    pub tag_bits_per_block: u64,
+    /// Words per block (16) — word-disabling needs one fault-mask bit per word.
+    pub words_per_block: u64,
+    /// Victim-cache entries (16).
+    pub victim_entries: u64,
+    /// Victim-cache tag + metadata bits per the whole structure's tag portion (31).
+    pub victim_tag_bits: u64,
+    /// Bits per victim-cache data entry (512 = 64 bytes).
+    pub victim_block_bits: u64,
+}
+
+impl OverheadParams {
+    /// The parameters used by Table I of the paper.
+    #[must_use]
+    pub fn ispass2010() -> Self {
+        Self {
+            blocks: 512,
+            tag_bits_per_block: 25,
+            words_per_block: 16,
+            victim_entries: 16,
+            victim_tag_bits: 31,
+            victim_block_bits: 512,
+        }
+    }
+
+    /// Victim-cache storage bits following the paper's `31 + 16 * 512` accounting.
+    #[must_use]
+    pub fn victim_bits(&self) -> u64 {
+        self.victim_tag_bits + self.victim_entries * self.victim_block_bits
+    }
+}
+
+impl Default for OverheadParams {
+    fn default() -> Self {
+        Self::ispass2010()
+    }
+}
+
+/// The full overhead comparison (Table I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverheadTable {
+    rows: Vec<OverheadRow>,
+}
+
+impl OverheadTable {
+    /// Builds Table I for the given cache parameters.
+    #[must_use]
+    pub fn new(p: &OverheadParams) -> Self {
+        let tag_6t = p.tag_bits_per_block * p.blocks * T6;
+        let tag_10t = p.tag_bits_per_block * p.blocks * T10;
+        let victim_6t = p.victim_bits() * T6;
+        let victim_10t = p.victim_bits() * T10;
+        let rows = vec![
+            OverheadRow::new("Baseline", tag_6t, 0, 0, false),
+            OverheadRow::new("Baseline+V$", tag_6t, 0, victim_6t, false),
+            OverheadRow::new(
+                "Word Disabling",
+                tag_10t,
+                p.words_per_block * p.blocks * T10,
+                0,
+                true,
+            ),
+            OverheadRow::new("Block Disabling", tag_6t, p.blocks * T10, 0, false),
+            OverheadRow::new(
+                "Block Disabling+V$ 10T",
+                tag_6t,
+                p.blocks * T10,
+                victim_10t,
+                false,
+            ),
+            OverheadRow::new(
+                "Block Disabling+V$ 6T",
+                tag_6t,
+                p.blocks * T10,
+                victim_6t + p.victim_entries * T10,
+                false,
+            ),
+        ];
+        Self { rows }
+    }
+
+    /// The Table I rows built with the paper's parameters.
+    #[must_use]
+    pub fn ispass2010() -> Self {
+        Self::new(&OverheadParams::ispass2010())
+    }
+
+    /// All rows of the table.
+    #[must_use]
+    pub fn rows(&self) -> &[OverheadRow] {
+        &self.rows
+    }
+
+    /// Looks up a row by its scheme name.
+    #[must_use]
+    pub fn row(&self, scheme: &str) -> Option<&OverheadRow> {
+        self.rows.iter().find(|r| r.scheme == scheme)
+    }
+
+    /// Total transistors of a scheme relative to the baseline row.
+    #[must_use]
+    pub fn relative_to_baseline(&self, scheme: &str) -> Option<f64> {
+        let baseline = self.row("Baseline")?.total_transistors as f64;
+        Some(self.row(scheme)?.total_transistors as f64 / baseline)
+    }
+}
+
+impl Default for OverheadTable {
+    fn default() -> Self {
+        Self::ispass2010()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_match_table_one_of_the_paper() {
+        let t = OverheadTable::ispass2010();
+        assert_eq!(t.row("Baseline").unwrap().total_transistors, 76_800);
+        assert_eq!(t.row("Baseline+V$").unwrap().total_transistors, 126_138);
+        assert_eq!(t.row("Word Disabling").unwrap().total_transistors, 209_920);
+        assert_eq!(t.row("Block Disabling").unwrap().total_transistors, 81_920);
+        assert_eq!(
+            t.row("Block Disabling+V$ 10T").unwrap().total_transistors,
+            164_150
+        );
+        assert_eq!(
+            t.row("Block Disabling+V$ 6T").unwrap().total_transistors,
+            131_418
+        );
+    }
+
+    #[test]
+    fn only_word_disabling_needs_an_alignment_network() {
+        let t = OverheadTable::ispass2010();
+        for row in t.rows() {
+            assert_eq!(row.alignment_network, row.scheme == "Word Disabling");
+        }
+    }
+
+    #[test]
+    fn block_disabling_is_cheapest_fault_tolerant_scheme() {
+        let t = OverheadTable::ispass2010();
+        let block = t.row("Block Disabling").unwrap().total_transistors;
+        let word = t.row("Word Disabling").unwrap().total_transistors;
+        assert!(block < word);
+        // Every block-disabling variant costs less than word disabling.
+        for row in t.rows() {
+            if row.scheme.starts_with("Block") {
+                assert!(row.total_transistors < word, "{} too expensive", row.scheme);
+            }
+        }
+    }
+
+    #[test]
+    fn block_disabling_overhead_is_an_order_of_magnitude_below_word_disabling() {
+        // "0.4% vs 10%": the *extra* cost over the baseline differs by more than 10x.
+        let t = OverheadTable::ispass2010();
+        let baseline = t.row("Baseline").unwrap().total_transistors;
+        let block_extra = t.row("Block Disabling").unwrap().total_transistors - baseline;
+        let word_extra = t.row("Word Disabling").unwrap().total_transistors - baseline;
+        assert!(word_extra > 10 * block_extra);
+    }
+
+    #[test]
+    fn relative_costs_are_computed_against_baseline() {
+        let t = OverheadTable::ispass2010();
+        assert!((t.relative_to_baseline("Baseline").unwrap() - 1.0).abs() < 1e-12);
+        assert!(t.relative_to_baseline("Word Disabling").unwrap() > 2.5);
+        assert!(t.relative_to_baseline("nonexistent").is_none());
+    }
+
+    #[test]
+    fn victim_bits_follow_the_paper_accounting() {
+        assert_eq!(OverheadParams::ispass2010().victim_bits(), 31 + 16 * 512);
+    }
+}

@@ -1,0 +1,168 @@
+//! Plain-text and CSV rendering of figure series and tables.
+
+/// A figure rendered as a table: one row per benchmark (or x-axis point), one column
+/// per series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureTable {
+    /// Title of the figure (e.g. "Figure 8: below Vcc-min, normalized to baseline").
+    pub title: String,
+    /// Label of the row key column (e.g. "benchmark" or "pfail").
+    pub key_label: String,
+    /// One label per series (column).
+    pub series_labels: Vec<String>,
+    /// Rows: key plus one value per series.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl FigureTable {
+    /// Creates an empty table with the given title and column labels.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        key_label: impl Into<String>,
+        series_labels: Vec<String>,
+    ) -> Self {
+        Self {
+            title: title.into(),
+            key_label: key_label.into(),
+            series_labels,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of values differs from the number of series labels.
+    pub fn push_row(&mut self, key: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.series_labels.len(),
+            "row width must match the number of series"
+        );
+        self.rows.push((key.into(), values));
+    }
+
+    /// Arithmetic mean of each series over all rows.
+    #[must_use]
+    pub fn series_means(&self) -> Vec<f64> {
+        if self.rows.is_empty() {
+            return vec![0.0; self.series_labels.len()];
+        }
+        let mut sums = vec![0.0; self.series_labels.len()];
+        for (_, values) in &self.rows {
+            for (s, v) in sums.iter_mut().zip(values) {
+                *s += v;
+            }
+        }
+        sums.iter().map(|s| s / self.rows.len() as f64).collect()
+    }
+
+    /// Renders the table as comma-separated values (header + rows + mean).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.key_label);
+        for label in &self.series_labels {
+            out.push(',');
+            out.push_str(label);
+        }
+        out.push('\n');
+        for (key, values) in &self.rows {
+            out.push_str(key);
+            for v in values {
+                out.push_str(&format!(",{v:.6}"));
+            }
+            out.push('\n');
+        }
+        out.push_str("mean");
+        for m in self.series_means() {
+            out.push_str(&format!(",{m:.6}"));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+impl std::fmt::Display for FigureTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.title)?;
+        let key_width = self
+            .rows
+            .iter()
+            .map(|(k, _)| k.len())
+            .chain([self.key_label.len(), 4])
+            .max()
+            .unwrap_or(10);
+        write!(f, "{:width$}", self.key_label, width = key_width)?;
+        for label in &self.series_labels {
+            write!(f, "  {label:>22}")?;
+        }
+        writeln!(f)?;
+        for (key, values) in &self.rows {
+            write!(f, "{key:key_width$}")?;
+            for v in values {
+                write!(f, "  {v:>22.4}")?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "{:key_width$}", "mean")?;
+        for m in self.series_means() {
+            write!(f, "  {m:>22.4}")?;
+        }
+        writeln!(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureTable {
+        let mut t = FigureTable::new("Fig X", "bench", vec!["a".into(), "b".into()]);
+        t.push_row("crafty", vec![0.9, 0.95]);
+        t.push_row("mcf", vec![0.7, 0.85]);
+        t
+    }
+
+    #[test]
+    fn means_average_over_rows() {
+        let t = sample();
+        let means = t.series_means();
+        assert!((means[0] - 0.8).abs() < 1e-12);
+        assert!((means[1] - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_table_has_zero_means() {
+        let t = FigureTable::new("Fig", "k", vec!["a".into()]);
+        assert_eq!(t.series_means(), vec![0.0]);
+    }
+
+    #[test]
+    fn csv_contains_header_rows_and_mean() {
+        let csv = sample().to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "bench,a,b");
+        assert!(lines[1].starts_with("crafty,"));
+        assert!(lines[3].starts_with("mean,"));
+    }
+
+    #[test]
+    fn display_contains_title_and_all_rows() {
+        let text = sample().to_string();
+        assert!(text.contains("Fig X"));
+        assert!(text.contains("crafty"));
+        assert!(text.contains("mcf"));
+        assert!(text.contains("mean"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut t = sample();
+        t.push_row("oops", vec![1.0]);
+    }
+}

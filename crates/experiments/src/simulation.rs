@@ -1,0 +1,540 @@
+//! The simulation campaigns behind Figures 8–12 of the paper.
+//!
+//! A campaign runs every benchmark on every cache configuration. Configurations
+//! whose behavior depends on the random fault map (the block-disabling variants) are
+//! evaluated over several independently sampled fault-map *pairs* (one map for the
+//! instruction cache, one for the data cache) and reported as the mean and minimum
+//! normalized performance — exactly how the paper presents its results (50 pairs at
+//! `pfail = 0.001`).
+
+use vccmin_cache::{CacheGeometry, CacheHierarchy, FaultMap, VoltageMode};
+use vccmin_cpu::{CpuConfig, Pipeline, SimResult};
+use vccmin_fault::SeedSequence;
+use vccmin_workloads::{Benchmark, TraceGenerator};
+
+use crate::config::SchemeConfig;
+use crate::report::FigureTable;
+
+/// Parameters of a simulation campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationParams {
+    /// Instructions simulated per run (the paper uses 100 M; the default is scaled
+    /// down so a full campaign finishes in minutes on a laptop).
+    pub instructions: u64,
+    /// Number of fault-map pairs per fault-dependent configuration (the paper uses 50).
+    pub fault_map_pairs: usize,
+    /// Per-cell probability of failure below Vcc-min (0.001 in the paper).
+    pub pfail: f64,
+    /// Master seed from which every fault map and trace seed is derived.
+    pub master_seed: u64,
+    /// Benchmarks to simulate.
+    pub benchmarks: Vec<Benchmark>,
+}
+
+impl SimulationParams {
+    /// A quick campaign: every benchmark, scaled-down instruction counts and fault
+    /// map counts. Finishes in a few minutes; suitable for the example binaries.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            instructions: 60_000,
+            fault_map_pairs: 5,
+            pfail: 0.001,
+            master_seed: 0x15_2A55_2010,
+            benchmarks: Benchmark::all().to_vec(),
+        }
+    }
+
+    /// A smoke-test campaign: four representative benchmarks, tiny traces. Used by
+    /// unit/integration tests and the benches' correctness checks.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            instructions: 15_000,
+            fault_map_pairs: 2,
+            pfail: 0.001,
+            master_seed: 7,
+            benchmarks: vec![
+                Benchmark::Crafty,
+                Benchmark::Mcf,
+                Benchmark::Swim,
+                Benchmark::Gzip,
+            ],
+        }
+    }
+
+    /// The paper-scale campaign: 100 M instructions, 50 fault-map pairs, all 26
+    /// benchmarks. This takes many CPU-hours; use it only for a full reproduction.
+    #[must_use]
+    pub fn paper_scale() -> Self {
+        Self {
+            instructions: 100_000_000,
+            fault_map_pairs: 50,
+            pfail: 0.001,
+            master_seed: 2010,
+            benchmarks: Benchmark::all().to_vec(),
+        }
+    }
+}
+
+impl Default for SimulationParams {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// Result of one configuration on one benchmark: one [`SimResult`] per fault-map
+/// pair (a single entry for fault-independent configurations).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigResult {
+    /// The configuration that was simulated.
+    pub scheme: SchemeConfig,
+    /// One result per evaluated fault-map pair.
+    pub runs: Vec<SimResult>,
+    /// Fault-map pairs skipped because word-disabling could not repair them
+    /// (whole-cache failure).
+    pub whole_cache_failures: usize,
+}
+
+impl ConfigResult {
+    /// Mean IPC over the evaluated fault maps.
+    #[must_use]
+    pub fn mean_ipc(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(SimResult::ipc).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Minimum (worst fault map) IPC, or 0 when no fault map could be evaluated.
+    #[must_use]
+    pub fn min_ipc(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs
+            .iter()
+            .map(SimResult::ipc)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// All configuration results for one benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkResult {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// Results per configuration.
+    pub configs: Vec<ConfigResult>,
+}
+
+impl BenchmarkResult {
+    /// The result for a specific configuration.
+    #[must_use]
+    pub fn config(&self, scheme: SchemeConfig) -> Option<&ConfigResult> {
+        self.configs.iter().find(|c| c.scheme == scheme)
+    }
+
+    /// Mean performance of `scheme` normalized to the mean performance of
+    /// `baseline`.
+    #[must_use]
+    pub fn normalized_mean(&self, scheme: SchemeConfig, baseline: SchemeConfig) -> f64 {
+        match (self.config(scheme), self.config(baseline)) {
+            (Some(s), Some(b)) if b.mean_ipc() > 0.0 => s.mean_ipc() / b.mean_ipc(),
+            _ => 0.0,
+        }
+    }
+
+    /// Minimum (worst fault map) performance of `scheme` normalized to the mean
+    /// performance of `baseline`.
+    #[must_use]
+    pub fn normalized_min(&self, scheme: SchemeConfig, baseline: SchemeConfig) -> f64 {
+        match (self.config(scheme), self.config(baseline)) {
+            (Some(s), Some(b)) if b.mean_ipc() > 0.0 => s.min_ipc() / b.mean_ipc(),
+            _ => 0.0,
+        }
+    }
+}
+
+/// Runs one benchmark on one hierarchy and returns the result.
+fn simulate(
+    benchmark: Benchmark,
+    hierarchy: CacheHierarchy,
+    trace_seed: u64,
+    instructions: u64,
+) -> SimResult {
+    let mut pipeline = Pipeline::new(CpuConfig::ispass2010(), hierarchy);
+    let mut trace = TraceGenerator::new(&benchmark.profile(), trace_seed);
+    pipeline.run(&mut trace, Some(instructions))
+}
+
+/// Generates the campaign's fault-map pairs (instruction cache, data cache).
+fn fault_map_pairs(params: &SimulationParams) -> Vec<(FaultMap, FaultMap)> {
+    let geom = CacheGeometry::ispass2010_l1();
+    let mut seeds = SeedSequence::new(params.master_seed).fork("fault-maps");
+    (0..params.fault_map_pairs)
+        .map(|_| {
+            let si = seeds.next_seed();
+            let sd = seeds.next_seed();
+            (
+                FaultMap::generate(&geom, params.pfail, si),
+                FaultMap::generate(&geom, params.pfail, sd),
+            )
+        })
+        .collect()
+}
+
+/// Trace seed for a benchmark, derived from the master seed so every configuration
+/// of a benchmark replays the identical instruction stream.
+fn trace_seed(params: &SimulationParams, benchmark: Benchmark) -> u64 {
+    SeedSequence::new(params.master_seed)
+        .fork(benchmark.name())
+        .next_seed()
+}
+
+/// Runs one (benchmark, configuration) pair at the given voltage over the campaign's
+/// fault maps.
+fn run_config(
+    params: &SimulationParams,
+    pairs: &[(FaultMap, FaultMap)],
+    benchmark: Benchmark,
+    scheme: SchemeConfig,
+    voltage: VoltageMode,
+) -> ConfigResult {
+    let seed = trace_seed(params, benchmark);
+    let cfg = scheme.hierarchy_config(voltage);
+    let mut runs = Vec::new();
+    let mut whole_cache_failures = 0;
+
+    let map_dependent = voltage == VoltageMode::Low && scheme.fault_dependent();
+    if map_dependent {
+        for (mi, md) in pairs {
+            match CacheHierarchy::with_fault_maps(cfg, Some(mi), Some(md)) {
+                Ok(hierarchy) => {
+                    runs.push(simulate(benchmark, hierarchy, seed, params.instructions));
+                    // Word-disabling's performance does not depend on *which* usable
+                    // map was drawn (capacity is always halved), so one run suffices.
+                    if matches!(
+                        scheme,
+                        SchemeConfig::WordDisabling | SchemeConfig::WordDisablingVictim
+                    ) {
+                        break;
+                    }
+                }
+                Err(_) => whole_cache_failures += 1,
+            }
+        }
+    } else {
+        let hierarchy = CacheHierarchy::new(cfg);
+        runs.push(simulate(benchmark, hierarchy, seed, params.instructions));
+    }
+    ConfigResult {
+        scheme,
+        runs,
+        whole_cache_failures,
+    }
+}
+
+/// The low-voltage campaign behind Figures 8, 9 and 10.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowVoltageStudy {
+    /// Per-benchmark results.
+    pub benchmarks: Vec<BenchmarkResult>,
+}
+
+impl LowVoltageStudy {
+    /// The configurations this study evaluates.
+    pub const SCHEMES: [SchemeConfig; 6] = [
+        SchemeConfig::Baseline,
+        SchemeConfig::BaselineVictim,
+        SchemeConfig::WordDisabling,
+        SchemeConfig::BlockDisabling,
+        SchemeConfig::BlockDisablingVictim10T,
+        SchemeConfig::BlockDisablingVictim6T,
+    ];
+
+    /// Runs the campaign.
+    #[must_use]
+    pub fn run(params: &SimulationParams) -> Self {
+        let pairs = fault_map_pairs(params);
+        let benchmarks = params
+            .benchmarks
+            .iter()
+            .map(|&benchmark| BenchmarkResult {
+                benchmark,
+                configs: Self::SCHEMES
+                    .iter()
+                    .map(|&scheme| {
+                        run_config(params, &pairs, benchmark, scheme, VoltageMode::Low)
+                    })
+                    .collect(),
+            })
+            .collect();
+        Self { benchmarks }
+    }
+
+    /// Figure 8: performance normalized to the baseline *without* victim cache —
+    /// word-disabling, block-disabling (avg), block-disabling+V$ 10T (avg),
+    /// block-disabling (min), block-disabling+V$ 10T (min).
+    #[must_use]
+    pub fn figure8(&self) -> FigureTable {
+        let mut table = FigureTable::new(
+            "Figure 8: below Vcc-min, normalized to baseline without victim cache",
+            "benchmark",
+            vec![
+                "word disabling".into(),
+                "block disabling avg".into(),
+                "block disabling avg+V$ 10T".into(),
+                "block disabling min".into(),
+                "block disabling min+V$ 10T".into(),
+            ],
+        );
+        for b in &self.benchmarks {
+            let base = SchemeConfig::Baseline;
+            table.push_row(
+                b.benchmark.name(),
+                vec![
+                    b.normalized_mean(SchemeConfig::WordDisabling, base),
+                    b.normalized_mean(SchemeConfig::BlockDisabling, base),
+                    b.normalized_mean(SchemeConfig::BlockDisablingVictim10T, base),
+                    b.normalized_min(SchemeConfig::BlockDisabling, base),
+                    b.normalized_min(SchemeConfig::BlockDisablingVictim10T, base),
+                ],
+            );
+        }
+        table
+    }
+
+    /// Figure 9: every configuration (including the baseline) has a 10T victim
+    /// cache; normalized to that baseline.
+    #[must_use]
+    pub fn figure9(&self) -> FigureTable {
+        let mut table = FigureTable::new(
+            "Figure 9: below Vcc-min, normalized to baseline with 10T victim cache",
+            "benchmark",
+            vec![
+                "word disabling".into(),
+                "block disabling avg".into(),
+                "block disabling min".into(),
+            ],
+        );
+        for b in &self.benchmarks {
+            let base = SchemeConfig::BaselineVictim;
+            table.push_row(
+                b.benchmark.name(),
+                vec![
+                    b.normalized_mean(SchemeConfig::WordDisabling, base),
+                    b.normalized_mean(SchemeConfig::BlockDisablingVictim10T, base),
+                    b.normalized_min(SchemeConfig::BlockDisablingVictim10T, base),
+                ],
+            );
+        }
+        table
+    }
+
+    /// Figure 10: 10T versus 6T victim cells for the block-disabled cache,
+    /// normalized to the baseline without victim cache.
+    #[must_use]
+    pub fn figure10(&self) -> FigureTable {
+        let mut table = FigureTable::new(
+            "Figure 10: 16-entry victim cache, 10T vs 6T cells (below Vcc-min)",
+            "benchmark",
+            vec![
+                "word disabling".into(),
+                "block disabling avg+V$ 10T".into(),
+                "block disabling avg+V$ 6T".into(),
+                "block disabling min+V$ 10T".into(),
+                "block disabling min+V$ 6T".into(),
+            ],
+        );
+        for b in &self.benchmarks {
+            let base = SchemeConfig::Baseline;
+            table.push_row(
+                b.benchmark.name(),
+                vec![
+                    b.normalized_mean(SchemeConfig::WordDisabling, base),
+                    b.normalized_mean(SchemeConfig::BlockDisablingVictim10T, base),
+                    b.normalized_mean(SchemeConfig::BlockDisablingVictim6T, base),
+                    b.normalized_min(SchemeConfig::BlockDisablingVictim10T, base),
+                    b.normalized_min(SchemeConfig::BlockDisablingVictim6T, base),
+                ],
+            );
+        }
+        table
+    }
+
+    /// Average (over benchmarks) of the mean performance of `scheme` normalized to
+    /// `baseline` — the numbers quoted in the paper's abstract and Section VI.A.
+    #[must_use]
+    pub fn average_normalized(&self, scheme: SchemeConfig, baseline: SchemeConfig) -> f64 {
+        if self.benchmarks.is_empty() {
+            return 0.0;
+        }
+        self.benchmarks
+            .iter()
+            .map(|b| b.normalized_mean(scheme, baseline))
+            .sum::<f64>()
+            / self.benchmarks.len() as f64
+    }
+}
+
+/// The high-voltage campaign behind Figures 11 and 12.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HighVoltageStudy {
+    /// Per-benchmark results.
+    pub benchmarks: Vec<BenchmarkResult>,
+}
+
+impl HighVoltageStudy {
+    /// The configurations this study evaluates.
+    pub const SCHEMES: [SchemeConfig; 6] = [
+        SchemeConfig::Baseline,
+        SchemeConfig::BaselineVictim,
+        SchemeConfig::WordDisabling,
+        SchemeConfig::WordDisablingVictim,
+        SchemeConfig::BlockDisabling,
+        SchemeConfig::BlockDisablingVictim10T,
+    ];
+
+    /// Runs the campaign (no fault maps are needed at high voltage).
+    #[must_use]
+    pub fn run(params: &SimulationParams) -> Self {
+        let benchmarks = params
+            .benchmarks
+            .iter()
+            .map(|&benchmark| BenchmarkResult {
+                benchmark,
+                configs: Self::SCHEMES
+                    .iter()
+                    .map(|&scheme| run_config(params, &[], benchmark, scheme, VoltageMode::High))
+                    .collect(),
+            })
+            .collect();
+        Self { benchmarks }
+    }
+
+    /// Figure 11: high-voltage performance normalized to the baseline without victim
+    /// cache.
+    #[must_use]
+    pub fn figure11(&self) -> FigureTable {
+        let mut table = FigureTable::new(
+            "Figure 11: high voltage, normalized to baseline without victim cache",
+            "benchmark",
+            vec![
+                "word disabling".into(),
+                "block disabling".into(),
+                "block disabling+V$ 10T".into(),
+            ],
+        );
+        for b in &self.benchmarks {
+            let base = SchemeConfig::Baseline;
+            table.push_row(
+                b.benchmark.name(),
+                vec![
+                    b.normalized_mean(SchemeConfig::WordDisabling, base),
+                    b.normalized_mean(SchemeConfig::BlockDisabling, base),
+                    b.normalized_mean(SchemeConfig::BlockDisablingVictim10T, base),
+                ],
+            );
+        }
+        table
+    }
+
+    /// Figure 12: word vs block disabling when both (and the baseline) have victim
+    /// caches, at high voltage.
+    #[must_use]
+    pub fn figure12(&self) -> FigureTable {
+        let mut table = FigureTable::new(
+            "Figure 12: high voltage, all configurations with victim caches",
+            "benchmark",
+            vec!["word disabling".into(), "block disabling".into()],
+        );
+        for b in &self.benchmarks {
+            let base = SchemeConfig::BaselineVictim;
+            table.push_row(
+                b.benchmark.name(),
+                vec![
+                    b.normalized_mean(SchemeConfig::WordDisablingVictim, base),
+                    b.normalized_mean(SchemeConfig::BlockDisablingVictim10T, base),
+                ],
+            );
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_result_statistics() {
+        let make = |ipc_cycles: &[(u64, u64)]| ConfigResult {
+            scheme: SchemeConfig::BlockDisabling,
+            runs: ipc_cycles
+                .iter()
+                .map(|&(instructions, cycles)| SimResult {
+                    instructions,
+                    cycles,
+                    loads: 0,
+                    stores: 0,
+                    conditional_branches: 0,
+                    branch_mispredictions: 0,
+                    hierarchy: Default::default(),
+                })
+                .collect(),
+            whole_cache_failures: 0,
+        };
+        let r = make(&[(100, 100), (100, 200)]);
+        assert!((r.mean_ipc() - 0.75).abs() < 1e-12);
+        assert!((r.min_ipc() - 0.5).abs() < 1e-12);
+        assert_eq!(make(&[]).mean_ipc(), 0.0);
+    }
+
+    #[test]
+    fn fault_map_pairs_are_deterministic_and_distinct() {
+        let params = SimulationParams::smoke();
+        let a = fault_map_pairs(&params);
+        let b = fault_map_pairs(&params);
+        assert_eq!(a.len(), params.fault_map_pairs);
+        assert_eq!(a, b);
+        assert_ne!(a[0].0, a[0].1, "instruction and data maps differ");
+        assert_ne!(a[0].0, a[1].0, "pairs are independent");
+    }
+
+    #[test]
+    fn trace_seeds_differ_per_benchmark_but_not_per_call() {
+        let params = SimulationParams::smoke();
+        assert_eq!(
+            trace_seed(&params, Benchmark::Crafty),
+            trace_seed(&params, Benchmark::Crafty)
+        );
+        assert_ne!(
+            trace_seed(&params, Benchmark::Crafty),
+            trace_seed(&params, Benchmark::Mcf)
+        );
+    }
+
+    // The end-to-end campaign tests live in the workspace-level integration tests
+    // (tests/), where the longer runtime is acceptable; a minimal high-voltage run
+    // is checked here because it needs no fault maps and is fast.
+    #[test]
+    fn high_voltage_study_produces_sane_normalized_results() {
+        let mut params = SimulationParams::smoke();
+        params.benchmarks = vec![Benchmark::Gzip];
+        params.instructions = 8_000;
+        let study = HighVoltageStudy::run(&params);
+        let fig11 = study.figure11();
+        assert_eq!(fig11.rows.len(), 1);
+        let values = &fig11.rows[0].1;
+        // Word disabling pays its extra cycle even at high voltage; block disabling
+        // matches the baseline exactly.
+        assert!(values[0] < 1.0, "word disabling should lose performance");
+        assert!(
+            (values[1] - 1.0).abs() < 1e-9,
+            "block disabling must match the baseline at high voltage, got {}",
+            values[1]
+        );
+        assert!(values[2] >= values[1] - 1e-9, "a victim cache never hurts");
+    }
+}

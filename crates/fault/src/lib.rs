@@ -1,0 +1,43 @@
+//! Fault-injection model for SRAM cache arrays operating below Vcc-min.
+//!
+//! Below the minimum reliable supply voltage, 6T SRAM cells fail with a per-cell
+//! probability `pfail`. This crate models that process for set-associative caches:
+//!
+//! * [`CacheGeometry`] — the physical organization of a cache (size, block size,
+//!   associativity, tag width) and the cell counts derived from it;
+//! * [`FaultMap`] — a reproducible, seeded sample of which words and tags contain at
+//!   least one faulty cell, the same information a low-voltage boot-time memory test
+//!   would produce;
+//! * [`SeedSequence`] — a SplitMix64 sequence used to derive independent seeds for
+//!   the many fault maps an experiment needs;
+//! * classification helpers used by the disabling schemes (faulty blocks per set,
+//!   word-disable usability, victim-cache entry survival).
+//!
+//! Faults are assumed uniformly random and independent at cell granularity, the same
+//! assumption the paper (and Wilkerson et al.) make. Sampling is performed at word
+//! and tag granularity using the exact derived Bernoulli probabilities, which yields
+//! a distribution identical to cell-level sampling for every quantity consumed by the
+//! disabling schemes (a word is faulty iff at least one of its cells is).
+//!
+//! # Example
+//!
+//! ```
+//! use vccmin_fault::{CacheGeometry, FaultMap};
+//!
+//! let geom = CacheGeometry::ispass2010_l1();
+//! let map = FaultMap::generate(&geom, 0.001, 42);
+//! let capacity = map.fault_free_block_fraction();
+//! assert!(capacity > 0.4 && capacity < 0.8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault_map;
+pub mod geometry;
+pub mod seed;
+
+pub use fault_map::{BlockFaults, FaultMap, FaultMapStats};
+pub use geometry::{CacheGeometry, GeometryError};
+pub use seed::SeedSequence;
+pub use vccmin_analysis::victim::CellTechnology;

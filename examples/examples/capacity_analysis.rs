@@ -1,0 +1,24 @@
+//! Regenerates the analytical figures of the paper (Figs. 3–7) as text tables:
+//! faulty-block fraction, capacity distribution, whole-cache-failure probability,
+//! block-size sensitivity and the incremental word-disabling capacity.
+//!
+//! Run with: `cargo run --release -p vccmin-examples --example capacity_analysis`
+
+use vccmin_core::experiments::analysis_figures as figures;
+
+fn main() {
+    let steps = 26; // keep the printed tables readable
+    println!("{}", figures::figure3(steps));
+    println!("{}", figures::figure5(steps));
+    println!("{}", figures::figure6(steps));
+    println!("{}", figures::figure7(steps));
+
+    // Figure 4 has 513 x-axis points; print a condensed view around the mode.
+    let fig4 = figures::figure4();
+    println!("Figure 4 (condensed): probability of cache capacity at pfail=0.001");
+    for (key, values) in fig4.rows.iter().filter(|(_, v)| v[0] > 1e-4) {
+        let capacity: f64 = key.parse().unwrap_or(0.0);
+        let bar = "#".repeat((values[0] * 800.0) as usize);
+        println!("{:>6.1}% | {bar}", 100.0 * capacity);
+    }
+}

@@ -1,0 +1,35 @@
+//! Regenerates Table I of the paper: the transistor overhead of the baseline,
+//! word-disabling and block-disabling schemes, with and without victim caches.
+//!
+//! Run with: `cargo run --release -p vccmin-examples --example overhead_table`
+
+use vccmin_core::OverheadTable;
+
+fn main() {
+    let table = OverheadTable::ispass2010();
+    println!("Table I: overhead comparison (32 KB, 8-way, 64 B/block, 16-entry victim cache)");
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "scheme", "tag", "disable", "victim $", "align net", "total", "vs base"
+    );
+    for row in table.rows() {
+        println!(
+            "{:<24} {:>12} {:>12} {:>12} {:>10} {:>12} {:>9.2}x",
+            row.scheme,
+            row.tag_transistors,
+            row.disable_transistors,
+            row.victim_transistors,
+            if row.alignment_network { "yes" } else { "no" },
+            row.total_transistors,
+            table.relative_to_baseline(row.scheme).unwrap_or(f64::NAN)
+        );
+    }
+    println!();
+    println!(
+        "block disabling adds {} transistors over the baseline; word disabling adds {}.",
+        table.row("Block Disabling").unwrap().total_transistors
+            - table.row("Baseline").unwrap().total_transistors,
+        table.row("Word Disabling").unwrap().total_transistors
+            - table.row("Baseline").unwrap().total_transistors,
+    );
+}

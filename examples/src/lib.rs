@@ -1,0 +1,1 @@
+//! Library stub for the examples package; the runnable content lives in `examples/`.

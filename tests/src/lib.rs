@@ -1,0 +1,1 @@
+//! Library stub for the integration-test package; tests live in `tests/tests/`.

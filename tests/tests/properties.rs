@@ -1,0 +1,190 @@
+//! Property-based tests (proptest) over the core invariants of the analysis, the
+//! fault model, the cache machinery and the pipeline.
+
+use proptest::prelude::*;
+
+use vccmin_core::analysis::word_disable::WordDisableParams;
+use vccmin_core::analysis::{block_faults, capacity::CapacityDistribution, incremental, word_disable};
+use vccmin_core::cache::{CacheHierarchy, DisablingScheme, HierarchyConfig, HitLevel, VoltageMode};
+use vccmin_core::cpu::{CpuConfig, OpClass, Pipeline, TraceInstruction};
+use vccmin_core::{ArrayGeometry, CacheGeometry, FaultMap};
+
+fn small_pfail() -> impl Strategy<Value = f64> {
+    0.0..0.02f64
+}
+
+fn any_geometry() -> impl Strategy<Value = ArrayGeometry> {
+    (
+        1u32..=11,   // log2 blocks (2 .. 2048)
+        4u32..=8,    // log2 block bytes (16 .. 256)
+        8u64..=40,   // tag bits
+    )
+        .prop_map(|(lb, lbb, tag)| {
+            ArrayGeometry::new(1 << lb, (1u64 << lbb) * 8, tag, 1).expect("valid geometry")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------- analysis ----
+
+    #[test]
+    fn capacity_is_a_probability_and_decreases_with_pfail(
+        geom in any_geometry(),
+        p1 in small_pfail(),
+        p2 in small_pfail(),
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let cap_lo = block_faults::mean_capacity(&geom, lo);
+        let cap_hi = block_faults::mean_capacity(&geom, hi);
+        prop_assert!((0.0..=1.0).contains(&cap_lo));
+        prop_assert!((0.0..=1.0).contains(&cap_hi));
+        prop_assert!(cap_hi <= cap_lo + 1e-12);
+    }
+
+    #[test]
+    fn exact_urn_model_agrees_with_fixed_pfail_approximation(
+        geom in any_geometry(),
+        pfail in 0.0005..0.01f64,
+    ) {
+        let faults = block_faults::expected_faulty_cells(&geom, pfail).round() as u64;
+        prop_assume!(faults >= 50);
+        let exact = block_faults::mean_faulty_blocks_exact(&geom, faults).unwrap();
+        let approx = block_faults::mean_faulty_blocks(&geom, pfail);
+        let rel = (exact - approx).abs() / exact.max(1.0);
+        prop_assert!(rel < 0.05, "relative error {rel} between Eq.1 ({exact}) and Eq.2 ({approx})");
+    }
+
+    #[test]
+    fn capacity_distribution_is_normalized_and_mean_matches(
+        geom in any_geometry(),
+        pfail in small_pfail(),
+    ) {
+        let dist = CapacityDistribution::new(&geom, pfail);
+        let total: f64 = dist.pmf().iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-6, "pmf sums to {total}");
+        let mean_from_pmf: f64 = dist
+            .pmf()
+            .iter()
+            .enumerate()
+            .map(|(x, p)| x as f64 * p)
+            .sum();
+        prop_assert!((mean_from_pmf - dist.mean_fault_free_blocks()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn whole_cache_failure_probability_is_monotone_and_bounded(
+        geom in any_geometry(),
+        p1 in small_pfail(),
+        p2 in small_pfail(),
+    ) {
+        let params = WordDisableParams::ispass2010();
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let f_lo = word_disable::whole_cache_failure_probability(&geom, &params, lo);
+        let f_hi = word_disable::whole_cache_failure_probability(&geom, &params, hi);
+        prop_assert!((0.0..=1.0).contains(&f_lo));
+        prop_assert!((0.0..=1.0).contains(&f_hi));
+        prop_assert!(f_lo <= f_hi + 1e-12);
+    }
+
+    #[test]
+    fn incremental_word_disabling_interpolates_between_full_and_disabled(
+        geom in any_geometry(),
+        pfail in small_pfail(),
+    ) {
+        let params = WordDisableParams::ispass2010();
+        let cap = incremental::expected_capacity(&geom, &params, pfail);
+        prop_assert!((0.0..=1.0).contains(&cap));
+        let states = incremental::PairStateProbabilities::new(&geom, &params, pfail);
+        let total = states.fault_free + states.disabled + states.half_capacity;
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    // ------------------------------------------------------------ fault maps ----
+
+    #[test]
+    fn fault_map_statistics_are_consistent(
+        pfail in small_pfail(),
+        seed in any::<u64>(),
+    ) {
+        let geom = CacheGeometry::ispass2010_l1();
+        let map = FaultMap::generate(&geom, pfail, seed);
+        let stats = map.stats();
+        prop_assert_eq!(stats.total_blocks, geom.blocks());
+        prop_assert_eq!(stats.faulty_blocks + map.fault_free_blocks(), geom.blocks());
+        let per_set_sum: u64 = (0..geom.sets()).map(|s| map.usable_ways_in_set(s)).sum();
+        prop_assert_eq!(per_set_sum, map.fault_free_blocks());
+        // Regenerating with the same seed reproduces the same map.
+        prop_assert_eq!(&map, &FaultMap::generate(&geom, pfail, seed));
+    }
+
+    // ---------------------------------------------------------------- caches ----
+
+    #[test]
+    fn hierarchy_accounting_is_conserved(
+        addrs in prop::collection::vec(0u64..1_000_000, 1..300),
+        scheme_idx in 0usize..3,
+    ) {
+        let scheme = [
+            DisablingScheme::Baseline,
+            DisablingScheme::BlockDisabling,
+            DisablingScheme::WordDisabling,
+        ][scheme_idx];
+        let mut h = CacheHierarchy::new(HierarchyConfig::ispass2010(scheme, VoltageMode::High));
+        let mut l1_hits = 0u64;
+        for (i, &a) in addrs.iter().enumerate() {
+            let r = h.access_data(a * 4, i % 4 == 0);
+            if r.level == HitLevel::L1 {
+                l1_hits += 1;
+            }
+            prop_assert!(r.latency >= 3);
+        }
+        let stats = h.stats();
+        prop_assert_eq!(stats.l1d.accesses, addrs.len() as u64);
+        prop_assert_eq!(stats.l1d.hits + stats.l1d.misses, stats.l1d.accesses);
+        prop_assert_eq!(stats.l1d.hits, l1_hits);
+        // Everything that missed the L1 reached the L2; everything that missed the L2
+        // reached memory.
+        prop_assert_eq!(stats.l2.accesses, stats.l1d.misses);
+        prop_assert_eq!(stats.memory_accesses, stats.l2.misses);
+    }
+
+    #[test]
+    fn block_disabled_cache_never_uses_faulty_blocks(
+        pfail in 0.001..0.05f64,
+        seed in any::<u64>(),
+    ) {
+        let geom = CacheGeometry::ispass2010_l1();
+        let map = FaultMap::generate(&geom, pfail, seed);
+        let cfg = HierarchyConfig::ispass2010(DisablingScheme::BlockDisabling, VoltageMode::Low);
+        let h = CacheHierarchy::with_fault_maps(cfg, Some(&map), Some(&map)).unwrap();
+        prop_assert_eq!(h.l1d_usable_blocks(), map.fault_free_blocks());
+    }
+
+    // -------------------------------------------------------------- pipeline ----
+
+    #[test]
+    fn pipeline_commits_every_instruction_within_physical_bounds(
+        n in 200u64..2_000,
+        op_idx in 0usize..4,
+    ) {
+        let op = [OpClass::IntAlu, OpClass::IntMul, OpClass::FpAlu, OpClass::Load][op_idx];
+        let trace: Vec<TraceInstruction> = (0..n)
+            .map(|i| match op {
+                OpClass::Load => TraceInstruction::load(0x1000 + (i % 64) * 4, 0x10_0000 + (i % 512) * 8, 3),
+                other => TraceInstruction::alu(0x1000 + (i % 64) * 4, other),
+            })
+            .collect();
+        let mut pipeline = Pipeline::new(
+            CpuConfig::ispass2010(),
+            CacheHierarchy::new(HierarchyConfig::ispass2010_baseline_high_voltage()),
+        );
+        let result = pipeline.run(&mut trace.into_iter(), None);
+        prop_assert_eq!(result.instructions, n);
+        // IPC can never exceed the commit width, and a run always takes at least
+        // n / commit_width cycles plus the pipeline fill.
+        prop_assert!(result.ipc() <= 4.0 + 1e-9);
+        prop_assert!(result.cycles as f64 >= n as f64 / 4.0);
+    }
+}
