@@ -73,7 +73,7 @@ impl ArrayGeometry {
                 "block size must be non-zero".into(),
             ));
         }
-        if size_bytes == 0 || size_bytes % block_bytes != 0 {
+        if size_bytes == 0 || !size_bytes.is_multiple_of(block_bytes) {
             return Err(AnalysisError::InvalidGeometry(format!(
                 "cache size {size_bytes} is not a positive multiple of block size {block_bytes}"
             )));
@@ -160,7 +160,7 @@ impl ArrayGeometry {
         let new_block_bits = block_bytes
             .checked_mul(8)
             .ok_or_else(|| AnalysisError::InvalidGeometry("block size overflow".into()))?;
-        if new_block_bits == 0 || total_data_bits % new_block_bits != 0 {
+        if new_block_bits == 0 || !total_data_bits.is_multiple_of(new_block_bits) {
             return Err(AnalysisError::InvalidGeometry(format!(
                 "total data bits {total_data_bits} not divisible by block bits {new_block_bits}"
             )));

@@ -15,7 +15,7 @@ use vccmin_fault::{CacheGeometry, FaultMap};
 
 use crate::disabling::{DisableError, DisablingScheme, EffectiveL1, L1Config, VoltageMode};
 use crate::set_assoc::SetAssocCache;
-use crate::stats::{CacheStats, HierarchyStats};
+use crate::stats::HierarchyStats;
 use crate::victim::VictimCache;
 
 /// Which level of the hierarchy served an access.
@@ -302,13 +302,13 @@ impl CacheHierarchy {
                 .victim
                 .as_ref()
                 .map(|v| *v.stats())
-                .unwrap_or_else(CacheStats::default),
+                .unwrap_or_default(),
             l1d_victim: self
                 .l1d
                 .victim
                 .as_ref()
                 .map(|v| *v.stats())
-                .unwrap_or_else(CacheStats::default),
+                .unwrap_or_default(),
             l2: *self.l2.stats(),
             memory_accesses: self.memory_accesses,
         }

@@ -6,11 +6,14 @@
 //! default (override with `--instructions` and `--pairs`).
 //!
 //! ```text
-//! vccmin-repro <target> [--instructions N] [--pairs K] [--seed S] [--csv]
+//! vccmin-repro <target> [--instructions N] [--pairs K] [--seed S] [--pfail P] [--csv] [--serial]
 //!     target: fig1 fig3 fig4 fig5 fig6 fig7 table1 fig8 fig9 fig10 fig11 fig12
 //!             analysis (figs 1,3-7 + table1)   lowvolt (figs 8-10)
 //!             highvolt (figs 11-12)            all
 //! ```
+//!
+//! Simulation campaigns run on all cores by default (`--serial` forces the
+//! reference single-threaded executor; both produce bit-identical output).
 
 use std::env;
 use std::process::ExitCode;
@@ -24,6 +27,7 @@ struct Options {
     target: String,
     params: SimulationParams,
     csv: bool,
+    serial: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -31,6 +35,7 @@ fn parse_args() -> Result<Options, String> {
     let target = args.next().ok_or_else(usage)?;
     let mut params = SimulationParams::quick();
     let mut csv = false;
+    let mut serial = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--instructions" => {
@@ -50,14 +55,20 @@ fn parse_args() -> Result<Options, String> {
                 params.pfail = v.parse().map_err(|e| format!("bad pfail: {e}"))?;
             }
             "--csv" => csv = true,
+            "--serial" => serial = true,
             other => return Err(format!("unknown option {other}\n{}", usage())),
         }
     }
-    Ok(Options { target, params, csv })
+    Ok(Options {
+        target,
+        params,
+        csv,
+        serial,
+    })
 }
 
 fn usage() -> String {
-    "usage: vccmin-repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|analysis|lowvolt|highvolt|all> [--instructions N] [--pairs K] [--seed S] [--pfail P] [--csv]".to_string()
+    "usage: vccmin-repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|analysis|lowvolt|highvolt|all> [--instructions N] [--pairs K] [--seed S] [--pfail P] [--csv] [--serial]".to_string()
 }
 
 fn emit(table: &FigureTable, csv: bool) {
@@ -99,14 +110,19 @@ fn run_analysis(csv: bool) {
     print_table1();
 }
 
-fn run_lowvolt(params: &SimulationParams, csv: bool) {
+fn run_lowvolt(params: &SimulationParams, csv: bool, serial: bool) {
     eprintln!(
-        "running low-voltage campaign: {} benchmarks x {} fault-map pairs x {} instructions",
+        "running low-voltage campaign: {} benchmarks x {} fault-map pairs x {} instructions ({})",
         params.benchmarks.len(),
         params.fault_map_pairs,
-        params.instructions
+        params.instructions,
+        executor_label(serial),
     );
-    let study = LowVoltageStudy::run(params);
+    let study = if serial {
+        LowVoltageStudy::run(params)
+    } else {
+        LowVoltageStudy::run_parallel(params)
+    };
     emit(&study.figure8(), csv);
     emit(&study.figure9(), csv);
     emit(&study.figure10(), csv);
@@ -131,15 +147,28 @@ fn run_lowvolt(params: &SimulationParams, csv: bool) {
     );
 }
 
-fn run_highvolt(params: &SimulationParams, csv: bool) {
+fn run_highvolt(params: &SimulationParams, csv: bool, serial: bool) {
     eprintln!(
-        "running high-voltage campaign: {} benchmarks x {} instructions",
+        "running high-voltage campaign: {} benchmarks x {} instructions ({})",
         params.benchmarks.len(),
-        params.instructions
+        params.instructions,
+        executor_label(serial),
     );
-    let study = HighVoltageStudy::run(params);
+    let study = if serial {
+        HighVoltageStudy::run(params)
+    } else {
+        HighVoltageStudy::run_parallel(params)
+    };
     emit(&study.figure11(), csv);
     emit(&study.figure12(), csv);
+}
+
+fn executor_label(serial: bool) -> String {
+    if serial {
+        "serial".to_string()
+    } else {
+        format!("parallel on {} threads", rayon::current_num_threads())
+    }
 }
 
 fn main() -> ExitCode {
@@ -152,6 +181,7 @@ fn main() -> ExitCode {
     };
     let p = &options.params;
     let csv = options.csv;
+    let serial = options.serial;
     match options.target.as_str() {
         "fig1" => emit(&af::figure1(af::DEFAULT_STEPS), csv),
         "fig3" => emit(&af::figure3(af::DEFAULT_STEPS), csv),
@@ -161,12 +191,12 @@ fn main() -> ExitCode {
         "fig7" => emit(&af::figure7(af::DEFAULT_STEPS), csv),
         "table1" => print_table1(),
         "analysis" => run_analysis(csv),
-        "fig8" | "fig9" | "fig10" | "lowvolt" => run_lowvolt(p, csv),
-        "fig11" | "fig12" | "highvolt" => run_highvolt(p, csv),
+        "fig8" | "fig9" | "fig10" | "lowvolt" => run_lowvolt(p, csv, serial),
+        "fig11" | "fig12" | "highvolt" => run_highvolt(p, csv, serial),
         "all" => {
             run_analysis(csv);
-            run_lowvolt(p, csv);
-            run_highvolt(p, csv);
+            run_lowvolt(p, csv, serial);
+            run_highvolt(p, csv, serial);
         }
         other => {
             eprintln!("unknown target {other}\n{}", usage());

@@ -7,7 +7,8 @@
 //! normalized performance — exactly how the paper presents its results (50 pairs at
 //! `pfail = 0.001`).
 
-use vccmin_cache::{CacheGeometry, CacheHierarchy, FaultMap, VoltageMode};
+use rayon::prelude::*;
+use vccmin_cache::{CacheGeometry, CacheHierarchy, FaultMap, HierarchyConfig, VoltageMode};
 use vccmin_cpu::{CpuConfig, Pipeline, SimResult};
 use vccmin_fault::SeedSequence;
 use vccmin_workloads::{Benchmark, TraceGenerator};
@@ -192,6 +193,39 @@ fn trace_seed(params: &SimulationParams, benchmark: Benchmark) -> u64 {
         .next_seed()
 }
 
+/// Simulates one fault-map pair for one (benchmark, configuration), or `None`
+/// when word-disabling cannot repair the pair (whole-cache failure). Both the
+/// serial and the parallel executor run every fault-map evaluation through this
+/// single function, which is what makes their results bit-identical.
+fn run_fault_pair(
+    params: &SimulationParams,
+    cfg: HierarchyConfig,
+    benchmark: Benchmark,
+    trace_seed: u64,
+    (map_i, map_d): &(FaultMap, FaultMap),
+) -> Option<SimResult> {
+    CacheHierarchy::with_fault_maps(cfg, Some(map_i), Some(map_d))
+        .ok()
+        .map(|hierarchy| simulate(benchmark, hierarchy, trace_seed, params.instructions))
+}
+
+/// Whether `scheme` at `voltage` is evaluated once per fault-map pair.
+fn map_dependent(scheme: SchemeConfig, voltage: VoltageMode) -> bool {
+    voltage == VoltageMode::Low && scheme.fault_dependent()
+}
+
+/// Whether each fault-map pair of a map-dependent configuration is an
+/// independent unit of work. Word-disabling is the exception: the serial loop
+/// stops after the first usable pair (capacity is always halved, so every
+/// usable map performs identically), which makes later pairs depend on the
+/// earlier outcomes.
+fn pairs_independent(scheme: SchemeConfig) -> bool {
+    !matches!(
+        scheme,
+        SchemeConfig::WordDisabling | SchemeConfig::WordDisablingVictim
+    )
+}
+
 /// Runs one (benchmark, configuration) pair at the given voltage over the campaign's
 /// fault maps.
 fn run_config(
@@ -206,22 +240,18 @@ fn run_config(
     let mut runs = Vec::new();
     let mut whole_cache_failures = 0;
 
-    let map_dependent = voltage == VoltageMode::Low && scheme.fault_dependent();
-    if map_dependent {
-        for (mi, md) in pairs {
-            match CacheHierarchy::with_fault_maps(cfg, Some(mi), Some(md)) {
-                Ok(hierarchy) => {
-                    runs.push(simulate(benchmark, hierarchy, seed, params.instructions));
+    if map_dependent(scheme, voltage) {
+        for pair in pairs {
+            match run_fault_pair(params, cfg, benchmark, seed, pair) {
+                Some(result) => {
+                    runs.push(result);
                     // Word-disabling's performance does not depend on *which* usable
                     // map was drawn (capacity is always halved), so one run suffices.
-                    if matches!(
-                        scheme,
-                        SchemeConfig::WordDisabling | SchemeConfig::WordDisablingVictim
-                    ) {
+                    if !pairs_independent(scheme) {
                         break;
                     }
                 }
-                Err(_) => whole_cache_failures += 1,
+                None => whole_cache_failures += 1,
             }
         }
     } else {
@@ -233,6 +263,168 @@ fn run_config(
         runs,
         whole_cache_failures,
     }
+}
+
+/// One unit of parallel work: either a whole (benchmark, configuration) cell —
+/// used for fault-independent configurations and for word-disabling, whose
+/// early-exit over fault maps is inherently sequential — or a single fault-map
+/// pair of a block-disabling configuration.
+#[derive(Debug, Clone, Copy)]
+enum JobSpec {
+    /// Run `run_config` for the whole cell.
+    Whole {
+        /// Benchmark to simulate.
+        benchmark: Benchmark,
+        /// Configuration to simulate.
+        scheme: SchemeConfig,
+    },
+    /// Run one fault-map pair of a map-dependent cell.
+    Pair {
+        /// Benchmark to simulate.
+        benchmark: Benchmark,
+        /// Configuration to simulate.
+        scheme: SchemeConfig,
+        /// Index into the campaign's fault-map pair list.
+        pair_index: usize,
+    },
+}
+
+/// Output of one [`JobSpec`], in the same order as the job list.
+enum JobOutput {
+    Whole(ConfigResult),
+    Pair(Option<Box<SimResult>>),
+}
+
+/// Splits a campaign into independent jobs: one per fault-map pair where pairs
+/// are independent, one per (benchmark, configuration) cell otherwise.
+fn campaign_jobs(
+    params: &SimulationParams,
+    schemes: &[SchemeConfig],
+    voltage: VoltageMode,
+    pair_count: usize,
+) -> Vec<JobSpec> {
+    let mut jobs = Vec::new();
+    for &benchmark in &params.benchmarks {
+        for &scheme in schemes {
+            if map_dependent(scheme, voltage) && pairs_independent(scheme) {
+                jobs.extend(
+                    (0..pair_count).map(|pair_index| JobSpec::Pair {
+                        benchmark,
+                        scheme,
+                        pair_index,
+                    }),
+                );
+            } else {
+                jobs.push(JobSpec::Whole { benchmark, scheme });
+            }
+        }
+    }
+    jobs
+}
+
+/// Runs a campaign over every (benchmark, configuration) cell in parallel,
+/// fanning out over benchmark × configuration × fault-map pair.
+///
+/// Determinism: the fault-map pairs and trace seeds are derived up front from
+/// `params.master_seed` through [`SeedSequence`], every evaluation goes through
+/// the same [`run_fault_pair`]/[`run_config`] code as the serial path, and the
+/// parallel-map executor reassembles results in job order — so the output is
+/// bit-identical to [`run_campaign`] no matter how the jobs are scheduled.
+fn run_campaign_parallel(
+    params: &SimulationParams,
+    schemes: &[SchemeConfig],
+    voltage: VoltageMode,
+) -> Vec<BenchmarkResult> {
+    let pairs = if voltage == VoltageMode::Low {
+        fault_map_pairs(params)
+    } else {
+        Vec::new()
+    };
+    let jobs = campaign_jobs(params, schemes, voltage, pairs.len());
+    let outputs: Vec<JobOutput> = jobs
+        .into_par_iter()
+        .map(|job| match job {
+            JobSpec::Whole { benchmark, scheme } => {
+                JobOutput::Whole(run_config(params, &pairs, benchmark, scheme, voltage))
+            }
+            JobSpec::Pair {
+                benchmark,
+                scheme,
+                pair_index,
+            } => JobOutput::Pair(
+                run_fault_pair(
+                    params,
+                    scheme.hierarchy_config(voltage),
+                    benchmark,
+                    trace_seed(params, benchmark),
+                    &pairs[pair_index],
+                )
+                .map(Box::new),
+            ),
+        })
+        .collect();
+
+    // Reassemble in the same benchmark × scheme × pair order the jobs were
+    // emitted in.
+    let mut cursor = outputs.into_iter();
+    params
+        .benchmarks
+        .iter()
+        .map(|&benchmark| BenchmarkResult {
+            benchmark,
+            configs: schemes
+                .iter()
+                .map(|&scheme| {
+                    if map_dependent(scheme, voltage) && pairs_independent(scheme) {
+                        let mut runs = Vec::new();
+                        let mut whole_cache_failures = 0;
+                        for _ in 0..pairs.len() {
+                            match cursor.next() {
+                                Some(JobOutput::Pair(Some(result))) => runs.push(*result),
+                                Some(JobOutput::Pair(None)) => whole_cache_failures += 1,
+                                _ => unreachable!("job list and output list diverged"),
+                            }
+                        }
+                        ConfigResult {
+                            scheme,
+                            runs,
+                            whole_cache_failures,
+                        }
+                    } else {
+                        match cursor.next() {
+                            Some(JobOutput::Whole(result)) => result,
+                            _ => unreachable!("job list and output list diverged"),
+                        }
+                    }
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Runs a campaign serially: the reference implementation the parallel executor
+/// is tested against.
+fn run_campaign(
+    params: &SimulationParams,
+    schemes: &[SchemeConfig],
+    voltage: VoltageMode,
+) -> Vec<BenchmarkResult> {
+    let pairs = if voltage == VoltageMode::Low {
+        fault_map_pairs(params)
+    } else {
+        Vec::new()
+    };
+    params
+        .benchmarks
+        .iter()
+        .map(|&benchmark| BenchmarkResult {
+            benchmark,
+            configs: schemes
+                .iter()
+                .map(|&scheme| run_config(params, &pairs, benchmark, scheme, voltage))
+                .collect(),
+        })
+        .collect()
 }
 
 /// The low-voltage campaign behind Figures 8, 9 and 10.
@@ -253,24 +445,25 @@ impl LowVoltageStudy {
         SchemeConfig::BlockDisablingVictim6T,
     ];
 
-    /// Runs the campaign.
+    /// Runs the campaign serially. Kept as the reference implementation;
+    /// [`LowVoltageStudy::run_parallel`] produces bit-identical results faster.
     #[must_use]
     pub fn run(params: &SimulationParams) -> Self {
-        let pairs = fault_map_pairs(params);
-        let benchmarks = params
-            .benchmarks
-            .iter()
-            .map(|&benchmark| BenchmarkResult {
-                benchmark,
-                configs: Self::SCHEMES
-                    .iter()
-                    .map(|&scheme| {
-                        run_config(params, &pairs, benchmark, scheme, VoltageMode::Low)
-                    })
-                    .collect(),
-            })
-            .collect();
-        Self { benchmarks }
+        Self {
+            benchmarks: run_campaign(params, &Self::SCHEMES, VoltageMode::Low),
+        }
+    }
+
+    /// Runs the campaign on all available cores, fanning out over
+    /// benchmark × configuration × fault-map pair. Produces bit-identical
+    /// results to [`LowVoltageStudy::run`]: all randomness is derived up front
+    /// from `params.master_seed` via [`SeedSequence`] and results are
+    /// reassembled in job order.
+    #[must_use]
+    pub fn run_parallel(params: &SimulationParams) -> Self {
+        Self {
+            benchmarks: run_campaign_parallel(params, &Self::SCHEMES, VoltageMode::Low),
+        }
     }
 
     /// Figure 8: performance normalized to the baseline *without* victim cache —
@@ -396,21 +589,24 @@ impl HighVoltageStudy {
         SchemeConfig::BlockDisablingVictim10T,
     ];
 
-    /// Runs the campaign (no fault maps are needed at high voltage).
+    /// Runs the campaign serially (no fault maps are needed at high voltage).
+    /// Kept as the reference implementation; [`HighVoltageStudy::run_parallel`]
+    /// produces bit-identical results faster.
     #[must_use]
     pub fn run(params: &SimulationParams) -> Self {
-        let benchmarks = params
-            .benchmarks
-            .iter()
-            .map(|&benchmark| BenchmarkResult {
-                benchmark,
-                configs: Self::SCHEMES
-                    .iter()
-                    .map(|&scheme| run_config(params, &[], benchmark, scheme, VoltageMode::High))
-                    .collect(),
-            })
-            .collect();
-        Self { benchmarks }
+        Self {
+            benchmarks: run_campaign(params, &Self::SCHEMES, VoltageMode::High),
+        }
+    }
+
+    /// Runs the campaign on all available cores, one job per
+    /// benchmark × configuration cell. Produces bit-identical results to
+    /// [`HighVoltageStudy::run`].
+    #[must_use]
+    pub fn run_parallel(params: &SimulationParams) -> Self {
+        Self {
+            benchmarks: run_campaign_parallel(params, &Self::SCHEMES, VoltageMode::High),
+        }
     }
 
     /// Figure 11: high-voltage performance normalized to the baseline without victim
@@ -512,6 +708,54 @@ mod tests {
         assert_ne!(
             trace_seed(&params, Benchmark::Crafty),
             trace_seed(&params, Benchmark::Mcf)
+        );
+    }
+
+    #[test]
+    fn parallel_low_voltage_campaign_is_bit_identical_to_serial() {
+        let mut params = SimulationParams::smoke();
+        params.benchmarks = vec![Benchmark::Crafty, Benchmark::Gzip];
+        params.instructions = 5_000;
+        let serial = LowVoltageStudy::run(&params);
+        let parallel = LowVoltageStudy::run_parallel(&params);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.figure8(), parallel.figure8());
+    }
+
+    #[test]
+    fn parallel_high_voltage_campaign_is_bit_identical_to_serial() {
+        let mut params = SimulationParams::smoke();
+        params.benchmarks = vec![Benchmark::Mcf];
+        params.instructions = 5_000;
+        let serial = HighVoltageStudy::run(&params);
+        let parallel = HighVoltageStudy::run_parallel(&params);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.figure11(), parallel.figure11());
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial_when_fault_maps_are_unusable() {
+        // At a very high pfail some fault-map pairs cannot be repaired, so the
+        // whole-cache-failure accounting and word-disabling's first-usable-pair
+        // early exit both come into play.
+        let mut params = SimulationParams::smoke();
+        params.benchmarks = vec![Benchmark::Swim];
+        params.instructions = 3_000;
+        params.pfail = 0.08;
+        params.fault_map_pairs = 4;
+        let serial = LowVoltageStudy::run(&params);
+        let parallel = LowVoltageStudy::run_parallel(&params);
+        assert_eq!(serial, parallel);
+        let failures: usize = serial
+            .benchmarks
+            .iter()
+            .flat_map(|b| b.configs.iter())
+            .map(|c| c.whole_cache_failures)
+            .sum();
+        assert!(
+            failures > 0,
+            "expected at least one whole-cache failure at pfail = {}",
+            params.pfail
         );
     }
 

@@ -57,7 +57,7 @@ impl CacheGeometry {
                 "cache size and block size must be powers of two".into(),
             ));
         }
-        if size_bytes % (block_bytes * associativity) != 0 {
+        if !size_bytes.is_multiple_of(block_bytes * associativity) {
             return Err(GeometryError::Invalid(format!(
                 "size {size_bytes} not divisible by block_bytes*associativity ({})",
                 block_bytes * associativity

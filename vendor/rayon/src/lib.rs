@@ -1,0 +1,171 @@
+//! Minimal offline stand-in for the `rayon` API surface used by this
+//! workspace: an order-preserving parallel `map` + `collect` over owned
+//! collections. See `README.md` for scope and caveats.
+
+#![forbid(unsafe_code)]
+
+use std::marker::PhantomData;
+use std::sync::Mutex;
+use std::thread;
+
+/// The traits user code is expected to import, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// Number of worker threads a parallel operation will use: the
+/// `RAYON_NUM_THREADS` environment variable when set to a positive integer
+/// (same override the real crate honors), the detected CPU parallelism
+/// otherwise.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        if n > 0 {
+            return n;
+        }
+    }
+    thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Conversion into a parallel iterator, mirroring `rayon::iter::IntoParallelIterator`.
+pub trait IntoParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A materialised parallel iterator over owned items.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f`, preserving order.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, R, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _result: PhantomData,
+        }
+    }
+}
+
+/// A pending parallel map, executed by [`ParMap::collect`].
+pub struct ParMap<T: Send, R: Send, F: Fn(T) -> R + Sync> {
+    items: Vec<T>,
+    f: F,
+    _result: PhantomData<fn() -> R>,
+}
+
+impl<T: Send, R: Send, F: Fn(T) -> R + Sync> ParMap<T, R, F> {
+    /// Runs the map on a scoped worker pool and collects the results in input
+    /// order. Scheduling cannot affect the output, only the wall-clock time.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let workers = current_num_threads();
+        self.collect_with_workers(workers)
+    }
+
+    fn collect_with_workers<C: FromIterator<R>>(self, workers: usize) -> C {
+        let len = self.items.len();
+        let workers = workers.min(len);
+        let f = &self.f;
+        if workers <= 1 {
+            return self.items.into_iter().map(f).collect();
+        }
+
+        let queue = Mutex::new(self.items.into_iter().enumerate());
+        let slots: Vec<Mutex<Option<R>>> = (0..len).map(|_| Mutex::new(None)).collect();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let job = queue.lock().expect("rayon shim: queue poisoned").next();
+                    match job {
+                        Some((index, item)) => {
+                            let result = f(item);
+                            *slots[index].lock().expect("rayon shim: slot poisoned") =
+                                Some(result);
+                        }
+                        None => break,
+                    }
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("rayon shim: slot poisoned")
+                    .expect("rayon shim: worker skipped a slot")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let out: Vec<u64> = input.clone().into_par_iter().map(|x| x * x).collect();
+        let expected: Vec<u64> = input.into_iter().map(|x| x * x).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<i32> = Vec::<i32>::new().into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn multithreaded_pool_preserves_order() {
+        // Force a real thread pool even on single-CPU machines.
+        let out: Vec<u64> = (0..1000u64)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x * 3)
+            .collect_with_workers(4);
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_work_is_still_ordered() {
+        // Make early items much slower than late ones so workers finish out of
+        // submission order.
+        let out: Vec<usize> = (0..64usize)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|i| {
+                if i < 4 {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                i
+            })
+            .collect_with_workers(8);
+        assert_eq!(out, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn current_num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}

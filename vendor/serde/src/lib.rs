@@ -1,0 +1,7 @@
+//! Offline placeholder for `serde`. Re-exports no-op derive macros so the
+//! workspace's optional `serde` feature compiles without network access.
+//! **Does not provide working serialization** — see `README.md`.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,18 @@
+//! Offline placeholder for `serde_derive`: the `Serialize` and `Deserialize`
+//! derive macros expand to nothing, so `#[cfg_attr(feature = "serde", ...)]`
+//! attributes compile with the `serde` feature enabled without pulling the
+//! real dependency. See `vendor/serde/README.md`.
+
+use proc_macro::TokenStream;
+
+/// No-op placeholder for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op placeholder for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
