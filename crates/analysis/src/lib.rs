@@ -18,6 +18,11 @@
 //!   (Eqs. 4 and 5) — [`word_disable`];
 //! * the capacity of the *incremental* word-disabling variant (Eq. 6) —
 //!   [`incremental`];
+//! * expected capacity of the bit-fix repair scheme (after Wilkerson et al.),
+//!   which sacrifices one way per faulty set to store repair patterns —
+//!   [`bit_fix`];
+//! * expected capacity of the way-sacrifice / set-remap scheme, which disables
+//!   the worst way of every set — [`way_sacrifice`];
 //! * the illustrative voltage/power/performance scaling curves of Fig. 1 —
 //!   [`voltage`];
 //! * expected victim-cache entry survival at low voltage — [`victim`].
@@ -38,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bit_fix;
 pub mod block_faults;
 pub mod capacity;
 pub mod combinatorics;
@@ -46,6 +52,7 @@ pub mod geometry;
 pub mod incremental;
 pub mod victim;
 pub mod voltage;
+pub mod way_sacrifice;
 pub mod word_disable;
 
 pub use error::AnalysisError;

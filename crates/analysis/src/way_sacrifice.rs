@@ -1,0 +1,100 @@
+//! Analysis of the way-sacrifice / set-remap scheme.
+//!
+//! Way-sacrifice is the coarsest-grained disabling organization the repo
+//! models: at low voltage every set unconditionally gives up its *worst* way
+//! (the one with the most faulty cells) and the set's blocks remap into the
+//! surviving ways. The only repair metadata is one way pointer per set — no
+//! per-block disable bits are exported to software — but blocks that are still
+//! faulty after the sacrifice must be disabled just like under block-disabling.
+//!
+//! Because the sacrificed way is the faultiest one, it is itself faulty
+//! whenever the set contains any fault, so a faulty set retains exactly as many
+//! blocks as block-disabling; the scheme only pays for its simplicity in
+//! *fault-free* sets, which still lose one way:
+//!
+//! ```text
+//! E[usable blocks per set] = a - E[max(m, 1)] = a - a*pbf - (1 - pbf)^a
+//! E[capacity]              = 1 - pbf - (1 - pbf)^a / a
+//! ```
+//!
+//! where `m ~ Binomial(a, pbf)` is the number of faulty blocks in a set.
+
+use crate::block_faults::block_fault_probability;
+use crate::geometry::ArrayGeometry;
+
+/// Exact expected capacity of way-sacrifice at low voltage, as a fraction of
+/// the fault-free cache.
+///
+/// # Panics
+///
+/// Panics if `associativity` is zero.
+#[must_use]
+pub fn expected_capacity(geometry: &ArrayGeometry, associativity: u64, pfail: f64) -> f64 {
+    assert!(associativity > 0, "associativity must be non-zero");
+    let a = associativity as f64;
+    let pbf = block_fault_probability(geometry, pfail);
+    (1.0 - pbf - (1.0 - pbf).powi(associativity as i32) / a).clamp(0.0, 1.0)
+}
+
+/// Capacity way-sacrifice gives up relative to block-disabling: the probability
+/// that a set is entirely fault free (and still loses a way), scaled by `1/a`.
+#[must_use]
+pub fn capacity_deficit_vs_block_disabling(
+    geometry: &ArrayGeometry,
+    associativity: u64,
+    pfail: f64,
+) -> f64 {
+    let pbf = block_fault_probability(geometry, pfail);
+    (1.0 - pbf).powi(associativity as i32) / associativity as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block_faults::mean_capacity;
+
+    fn l1() -> ArrayGeometry {
+        ArrayGeometry::ispass2010_l1()
+    }
+
+    #[test]
+    fn fault_free_cache_still_loses_one_way_per_set() {
+        assert!((expected_capacity(&l1(), 8, 0.0) - 7.0 / 8.0).abs() < 1e-12);
+        assert!((capacity_deficit_vs_block_disabling(&l1(), 8, 0.0) - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn certain_cell_failure_loses_everything() {
+        assert!(expected_capacity(&l1(), 8, 1.0) < 1e-12);
+    }
+
+    #[test]
+    fn never_exceeds_block_disabling() {
+        for &pfail in &[0.0, 0.0005, 0.001, 0.002, 0.005, 0.02] {
+            let ws = expected_capacity(&l1(), 8, pfail);
+            let block = mean_capacity(&l1(), pfail);
+            assert!(ws <= block + 1e-12, "pfail={pfail}: {ws} vs {block}");
+            let deficit = capacity_deficit_vs_block_disabling(&l1(), 8, pfail);
+            assert!((block - ws - deficit).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deficit_vanishes_once_every_set_is_faulty() {
+        // At pfail = 0.001 most sets contain a fault, so the sacrificed way was
+        // (almost always) going to be disabled anyway.
+        let deficit = capacity_deficit_vs_block_disabling(&l1(), 8, 0.001);
+        assert!(deficit < 0.02, "deficit {deficit}");
+        assert!(deficit > 0.0);
+    }
+
+    #[test]
+    fn capacity_is_monotone_in_pfail() {
+        let caps: Vec<f64> = (0..40)
+            .map(|i| expected_capacity(&l1(), 8, i as f64 * 0.0005))
+            .collect();
+        for pair in caps.windows(2) {
+            assert!(pair[1] <= pair[0] + 1e-9);
+        }
+    }
+}

@@ -1,7 +1,17 @@
-//! Cache organizations for operation below Vcc-min: baseline, block-disabling and
-//! word-disabling, at high and low voltage (Table III of the paper).
+//! Cache organizations for operation below Vcc-min, at high and low voltage
+//! (Table III of the paper, extended with the bit-fix and way-sacrifice repair
+//! schemes).
+//!
+//! [`DisablingScheme`] is the *identifier* of a repair scheme — a small `Copy`
+//! enum that configurations can embed and serialize. All scheme behavior
+//! (structure, latency, capacity) lives behind the
+//! [`RepairScheme`](crate::repair::RepairScheme) trait;
+//! [`DisablingScheme::repair`] resolves an identifier to its `&'static`
+//! implementation from the scheme registry.
 
 use vccmin_fault::{CacheGeometry, CellTechnology, FaultMap};
+
+use crate::repair::{RepairScheme, WayDisableMask, WordDisablingScheme};
 
 /// Supply-voltage operating mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -14,7 +24,7 @@ pub enum VoltageMode {
     Low,
 }
 
-/// The cache fault-tolerance scheme in use.
+/// Identifier of the cache fault-repair scheme in use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DisablingScheme {
@@ -28,23 +38,61 @@ pub enum DisablingScheme {
     /// block at low voltage (half capacity, half associativity) and the alignment
     /// network adds one cycle of latency at *both* voltages.
     WordDisabling,
+    /// Bit-fix (after Wilkerson et al.): one way per faulty set is sacrificed to
+    /// store repair patterns for the set's other blocks; two extra cycles at low
+    /// voltage only.
+    BitFix,
+    /// Way-sacrifice / set-remap: every set disables its worst way at low
+    /// voltage (plus any blocks that are still faulty); no latency overhead.
+    WaySacrifice,
 }
 
 impl DisablingScheme {
-    /// Extra L1 hit latency (cycles) imposed by the scheme, independent of voltage.
+    /// Every scheme identifier, in registry order.
+    pub const ALL: [DisablingScheme; 5] = [
+        Self::Baseline,
+        Self::BlockDisabling,
+        Self::WordDisabling,
+        Self::BitFix,
+        Self::WaySacrifice,
+    ];
+
+    /// The behavior of this scheme: its entry in the repair-scheme registry.
     #[must_use]
-    pub fn extra_latency(self) -> u32 {
+    pub fn repair(self) -> &'static dyn RepairScheme {
         match self {
-            Self::Baseline | Self::BlockDisabling => 0,
-            Self::WordDisabling => 1,
+            Self::Baseline => &crate::repair::BaselineScheme,
+            Self::BlockDisabling => &crate::repair::BlockDisablingScheme,
+            Self::WordDisabling => &crate::repair::WordDisablingScheme,
+            Self::BitFix => &crate::repair::BitFixScheme,
+            Self::WaySacrifice => &crate::repair::WaySacrificeScheme,
         }
+    }
+
+    /// Stable machine-readable name (the `vccmin-repro --scheme` vocabulary).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        self.repair().name()
+    }
+
+    /// Parses a stable scheme name back into an identifier.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        crate::repair::by_name(name).map(|s| s.id())
+    }
+
+    /// Extra L1 hit latency (cycles) imposed by the scheme in the given voltage
+    /// mode.
+    #[must_use]
+    pub fn extra_latency(self, mode: VoltageMode) -> u32 {
+        self.repair().extra_latency(mode)
     }
 
     /// Words per word-disable subblock (8 in the paper). Only meaningful for
     /// [`DisablingScheme::WordDisabling`].
     #[must_use]
     pub fn subblock_words(self) -> u8 {
-        8
+        WordDisablingScheme::SUBBLOCK_WORDS
     }
 }
 
@@ -133,19 +181,22 @@ impl L1Config {
         }
     }
 
-    /// L1 hit latency in cycles including the scheme overhead.
+    /// L1 hit latency in cycles including the scheme overhead in the given
+    /// voltage mode.
     #[must_use]
-    pub fn hit_latency(&self) -> u32 {
-        self.base_latency + self.scheme.extra_latency()
+    pub fn hit_latency(&self, mode: VoltageMode) -> u32 {
+        self.base_latency + self.scheme.extra_latency(mode)
     }
 
     /// Resolves the *effective* organization of this L1 in the given voltage mode
-    /// with the given fault map.
+    /// with the given fault map, by dispatching to the scheme's
+    /// [`RepairScheme`](crate::repair::RepairScheme) implementation.
     ///
     /// # Errors
     ///
     /// Returns [`DisableError`] if a fault map is required but missing, does not
-    /// match the geometry, or (for word-disabling) renders the whole cache unusable.
+    /// match the geometry, or the scheme cannot repair the map at all
+    /// (whole-cache failure).
     pub fn effective_organization(
         &self,
         mode: VoltageMode,
@@ -156,41 +207,24 @@ impl L1Config {
         let base = EffectiveL1 {
             geometry: self.geometry,
             disabled: None,
-            hit_latency: self.hit_latency(),
+            hit_latency: self.hit_latency(mode),
             victim_entries,
             victim_latency,
         };
-        match (mode, self.scheme) {
-            (VoltageMode::High, _) | (VoltageMode::Low, DisablingScheme::Baseline) => Ok(base),
-            (VoltageMode::Low, DisablingScheme::BlockDisabling) => {
-                let map = fault_map.ok_or(DisableError::MissingFaultMap)?;
-                if map.geometry() != &self.geometry {
-                    return Err(DisableError::GeometryMismatch);
-                }
-                Ok(EffectiveL1 {
-                    disabled: Some(map.clone()),
-                    ..base
-                })
-            }
-            (VoltageMode::Low, DisablingScheme::WordDisabling) => {
-                let map = fault_map.ok_or(DisableError::MissingFaultMap)?;
-                if map.geometry() != &self.geometry {
-                    return Err(DisableError::GeometryMismatch);
-                }
-                if !map.word_disable_usable(self.scheme.subblock_words()) {
-                    return Err(DisableError::WholeCacheFailure);
-                }
-                let halved = self
-                    .geometry
-                    .halved()
-                    .map_err(|_| DisableError::GeometryMismatch)?;
-                Ok(EffectiveL1 {
-                    geometry: halved,
-                    disabled: None,
-                    ..base
-                })
-            }
+        let repair = self.scheme.repair();
+        if mode == VoltageMode::High || !repair.needs_fault_map() {
+            return Ok(base);
         }
+        let map = fault_map.ok_or(DisableError::MissingFaultMap)?;
+        if map.geometry() != &self.geometry {
+            return Err(DisableError::GeometryMismatch);
+        }
+        let resolved = repair.repair(map)?;
+        Ok(EffectiveL1 {
+            geometry: resolved.geometry,
+            disabled: resolved.disabled,
+            ..base
+        })
     }
 }
 
@@ -199,8 +233,8 @@ impl L1Config {
 pub struct EffectiveL1 {
     /// Geometry presented to the access stream (halved for low-voltage word-disable).
     pub geometry: CacheGeometry,
-    /// Fault map whose faulty blocks must be disabled (block-disabling only).
-    pub disabled: Option<FaultMap>,
+    /// Ways the repair scheme disabled, if it disables at way granularity.
+    pub disabled: Option<WayDisableMask>,
     /// Hit latency in cycles.
     pub hit_latency: u32,
     /// Usable victim-cache entries (0 = no victim cache).
@@ -214,7 +248,7 @@ impl EffectiveL1 {
     #[must_use]
     pub fn capacity_fraction(&self, full: &CacheGeometry) -> f64 {
         let blocks = match &self.disabled {
-            Some(map) => map.fault_free_blocks(),
+            Some(mask) => mask.usable_blocks(),
             None => self.geometry.blocks(),
         };
         blocks as f64 / full.blocks() as f64
@@ -229,8 +263,9 @@ pub enum DisableError {
     /// The fault map's geometry does not match the cache, or the geometry cannot be
     /// transformed as the scheme requires.
     GeometryMismatch,
-    /// Word-disabling cannot repair this fault map: some subblock has more faulty
-    /// words than the scheme tolerates, so the whole cache is unusable below Vcc-min.
+    /// The repair scheme cannot repair this fault map at all (e.g. a word-disable
+    /// subblock has more faulty words than the scheme tolerates), so the whole
+    /// cache is unusable below Vcc-min.
     WholeCacheFailure,
 }
 
@@ -240,7 +275,7 @@ impl std::fmt::Display for DisableError {
             Self::MissingFaultMap => write!(f, "a fault map is required for low-voltage operation"),
             Self::GeometryMismatch => write!(f, "fault map geometry does not match the cache"),
             Self::WholeCacheFailure => {
-                write!(f, "word-disabling cannot repair this fault map (whole-cache failure)")
+                write!(f, "the scheme cannot repair this fault map (whole-cache failure)")
             }
         }
     }

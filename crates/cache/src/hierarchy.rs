@@ -113,7 +113,7 @@ struct L1Side {
 impl L1Side {
     fn build(effective: &EffectiveL1) -> Self {
         let cache = match &effective.disabled {
-            Some(map) => SetAssocCache::with_block_disabling(effective.geometry, map),
+            Some(mask) => SetAssocCache::with_disabled_ways(effective.geometry, mask),
             None => SetAssocCache::new(effective.geometry),
         };
         let victim = if effective.victim_entries > 0 {

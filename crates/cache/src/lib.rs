@@ -3,12 +3,17 @@
 //! This crate provides the memory-system substrate of the ISPASS 2010 reproduction:
 //!
 //! * [`SetAssocCache`] — a set-associative cache with true-LRU replacement whose
-//!   per-set usable ways can be restricted by a fault map (block-disabling);
+//!   per-set usable ways can be restricted by a repair scheme's disable mask;
 //! * [`VictimCache`] — a small fully-associative victim buffer (Jouppi-style) that
 //!   captures blocks evicted from an L1 and serves them back on a miss;
-//! * [`DisablingScheme`] and [`LowVoltageConfig`] — the cache organizations the paper
-//!   compares: baseline, block-disabling and word-disabling, each at high and low
-//!   voltage;
+//! * [`RepairScheme`] — the trait every cache repair organization implements:
+//!   structure (geometry transform + [`WayDisableMask`]), latency overhead per
+//!   voltage, per-fault-map capacity and the closed-form expected capacity. The
+//!   [`repair::registry`] lists the five shipped schemes: baseline,
+//!   block-disabling, word-disabling, bit-fix and way-sacrifice;
+//! * [`DisablingScheme`] and [`LowVoltageConfig`] — the `Copy`/serde identifiers
+//!   configurations embed; [`DisablingScheme::repair`] resolves an identifier to
+//!   its trait implementation;
 //! * [`CacheHierarchy`] — L1 instruction + data caches (optionally with victim
 //!   caches), a unified L2 and a flat memory latency, returning per-access latencies
 //!   that the CPU model consumes;
@@ -30,6 +35,7 @@
 
 pub mod disabling;
 pub mod hierarchy;
+pub mod repair;
 pub mod set_assoc;
 pub mod stats;
 pub mod victim;
@@ -39,6 +45,7 @@ pub use disabling::{
     VoltageMode,
 };
 pub use hierarchy::{AccessResult, CacheHierarchy, HierarchyConfig, HitLevel};
+pub use repair::{RepairScheme, ResolvedOrganization, WayDisableMask};
 pub use set_assoc::{AccessOutcome, SetAssocCache};
 pub use stats::{CacheStats, HierarchyStats};
 pub use vccmin_fault::{CacheGeometry, CellTechnology, FaultMap};

@@ -2,6 +2,7 @@
 
 use vccmin_fault::{CacheGeometry, FaultMap};
 
+use crate::repair::WayDisableMask;
 use crate::stats::CacheStats;
 
 /// A way (slot) of a cache set.
@@ -81,10 +82,28 @@ impl SetAssocCache {
             &geometry,
             "fault map geometry must match the cache geometry"
         );
+        Self::with_disabled_ways(
+            geometry,
+            &WayDisableMask::from_fn(&geometry, |set, way| fault_map.block_is_faulty(set, way)),
+        )
+    }
+
+    /// Creates a cache with the ways of `mask` disabled — the organization any
+    /// [`RepairScheme`](crate::repair::RepairScheme) resolves to at low voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask was built for a different geometry.
+    #[must_use]
+    pub fn with_disabled_ways(geometry: CacheGeometry, mask: &WayDisableMask) -> Self {
+        assert!(
+            mask.sets() == geometry.sets() && mask.associativity() == geometry.associativity(),
+            "disable mask shape must match the cache geometry"
+        );
         let mut cache = Self::new(geometry);
         for set in 0..geometry.sets() {
             for way in 0..geometry.associativity() {
-                if fault_map.block_is_faulty(set, way) {
+                if mask.is_disabled(set, way) {
                     cache.way_mut(set, way).usable = false;
                 }
             }

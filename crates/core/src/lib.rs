@@ -80,7 +80,10 @@ pub mod experiments {
 pub use vccmin_analysis::{ArrayGeometry, CellPfail};
 pub use vccmin_cache::{CacheHierarchy, DisablingScheme, HierarchyConfig, VoltageMode};
 pub use vccmin_cpu::{CpuConfig, Pipeline, SimResult};
-pub use vccmin_experiments::{LowVoltageStudy, OverheadTable, SchemeConfig, SimulationParams};
+pub use vccmin_cache::{RepairScheme, WayDisableMask};
+pub use vccmin_experiments::{
+    LowVoltageStudy, OverheadTable, SchemeConfig, SchemeMatrixStudy, SimulationParams,
+};
 pub use vccmin_fault::{CacheGeometry, FaultMap};
 pub use vccmin_workloads::{Benchmark, TraceGenerator};
 
@@ -94,6 +97,6 @@ mod tests {
         let b = crate::fault::CacheGeometry::ispass2010_l1();
         assert_eq!(a, b);
         let t = crate::OverheadTable::ispass2010();
-        assert_eq!(t.rows().len(), 6);
+        assert_eq!(t.rows().len(), 8);
     }
 }

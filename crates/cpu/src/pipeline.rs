@@ -108,7 +108,10 @@ impl Pipeline {
         max_instructions: Option<u64>,
     ) -> SimResult {
         let cfg = self.config;
-        let l1i_hit_latency = self.hierarchy.config().l1i.hit_latency();
+        let l1i_hit_latency = {
+            let hcfg = self.hierarchy.config();
+            hcfg.l1i.hit_latency(hcfg.voltage)
+        };
         let fetch_limit = max_instructions.unwrap_or(u64::MAX);
 
         let mut cycle: u64 = 0;

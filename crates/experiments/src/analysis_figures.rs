@@ -3,6 +3,7 @@
 
 use vccmin_analysis::word_disable::WordDisableParams;
 use vccmin_analysis::{block_faults, capacity, incremental, voltage, word_disable, ArrayGeometry};
+use vccmin_cache::{repair, CacheGeometry};
 
 use crate::report::FigureTable;
 
@@ -127,6 +128,34 @@ pub fn figure7(steps: usize) -> FigureTable {
     table
 }
 
+/// The analytical companion of the simulation scheme matrix: expected
+/// low-voltage capacity of every repair scheme in the registry as a function of
+/// `pfail`, for the paper's L1. One column per scheme — a new scheme shows up
+/// here (and everywhere else) the moment it joins the registry.
+#[must_use]
+pub fn scheme_capacity_figure(steps: usize) -> FigureTable {
+    assert!(steps >= 2, "a sweep needs at least two points");
+    let geom = CacheGeometry::ispass2010_l1();
+    let schemes = repair::registry();
+    let mut table = FigureTable::new(
+        "Scheme capacity: expected capacity below Vcc-min vs pfail (32KB, 8-way)",
+        "pfail",
+        schemes.iter().map(|s| s.label().into()).collect(),
+    );
+    let max_pfail = 0.005;
+    for i in 0..steps {
+        let pfail = max_pfail * i as f64 / (steps - 1) as f64;
+        table.push_row(
+            format!("{pfail:.5}"),
+            schemes
+                .iter()
+                .map(|s| s.expected_capacity(&geom, pfail))
+                .collect(),
+        );
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +186,27 @@ mod tests {
         let f7 = figure7(DEFAULT_STEPS);
         assert!((f7.rows[0].1[0] - 1.0).abs() < 1e-9);
         assert!(f7.rows.last().unwrap().1[0] < 0.5);
+    }
+
+    #[test]
+    fn scheme_capacity_figure_spans_the_registry_and_keeps_its_ordering() {
+        let table = scheme_capacity_figure(21);
+        assert_eq!(table.rows.len(), 21);
+        assert_eq!(
+            table.series_labels,
+            vec!["baseline", "block disabling", "word disabling", "bit fix", "way sacrifice"]
+        );
+        for (key, values) in &table.rows {
+            let (baseline, block, bitfix, ws) = (values[0], values[1], values[3], values[4]);
+            assert_eq!(baseline, 1.0, "baseline never degrades");
+            assert!(
+                bitfix >= block && block >= ws,
+                "{key}: bit-fix ({bitfix}) >= block ({block}) >= way-sacrifice ({ws})"
+            );
+            for v in values {
+                assert!((0.0..=1.0).contains(v));
+            }
+        }
     }
 
     #[test]

@@ -6,10 +6,14 @@
 //! default (override with `--instructions` and `--pairs`).
 //!
 //! ```text
-//! vccmin-repro <target> [--instructions N] [--pairs K] [--seed S] [--pfail P] [--csv] [--serial]
+//! vccmin-repro <target> [--scheme S] [--instructions N] [--pairs K] [--seed S] [--pfail P] [--csv] [--serial]
 //!     target: fig1 fig3 fig4 fig5 fig6 fig7 table1 fig8 fig9 fig10 fig11 fig12
 //!             analysis (figs 1,3-7 + table1)   lowvolt (figs 8-10)
-//!             highvolt (figs 11-12)            all
+//!             highvolt (figs 11-12)            schemes (repair-scheme matrix)
+//!             all
+//!     --scheme: restrict the `schemes` campaign to one repair scheme
+//!               (baseline | block-disable | word-disable | bit-fix | way-sacrifice);
+//!               implies the `schemes` target when no target is given
 //! ```
 //!
 //! Simulation campaigns run on all cores by default (`--serial` forces the
@@ -20,20 +24,31 @@ use std::process::ExitCode;
 
 use vccmin_experiments::analysis_figures as af;
 use vccmin_experiments::report::FigureTable;
-use vccmin_experiments::simulation::{HighVoltageStudy, LowVoltageStudy, SimulationParams};
-use vccmin_experiments::OverheadTable;
+use vccmin_experiments::simulation::{
+    HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy, SimulationParams,
+};
+use vccmin_experiments::{OverheadTable, SchemeConfig};
+use vccmin_cache::DisablingScheme;
 
 struct Options {
     target: String,
     params: SimulationParams,
+    scheme: Option<SchemeConfig>,
     csv: bool,
     serial: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
-    let mut args = env::args().skip(1);
-    let target = args.next().ok_or_else(usage)?;
+    let mut args = env::args().skip(1).peekable();
+    // `vccmin-repro --scheme bit-fix` is shorthand for the `schemes` target.
+    // Only `--scheme` implies the target; any other leading option is still the
+    // usage error it always was.
+    let target = match args.peek() {
+        Some(first) if first == "--scheme" => "schemes".to_string(),
+        _ => args.next().ok_or_else(usage)?,
+    };
     let mut params = SimulationParams::quick();
+    let mut scheme = None;
     let mut csv = false;
     let mut serial = false;
     while let Some(arg) = args.next() {
@@ -54,21 +69,38 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--pfail needs a value")?;
                 params.pfail = v.parse().map_err(|e| format!("bad pfail: {e}"))?;
             }
+            "--scheme" => {
+                let v = args.next().ok_or("--scheme needs a value")?;
+                let parsed = DisablingScheme::from_name(&v).ok_or_else(|| {
+                    format!(
+                        "unknown scheme {v}; expected one of {}",
+                        DisablingScheme::ALL.map(|s| s.name()).join(" | ")
+                    )
+                })?;
+                scheme = Some(SchemeConfig::for_scheme(parsed));
+            }
             "--csv" => csv = true,
             "--serial" => serial = true,
             other => return Err(format!("unknown option {other}\n{}", usage())),
         }
     }
+    if scheme.is_some() && target != "schemes" {
+        return Err(format!(
+            "--scheme only applies to the `schemes` target\n{}",
+            usage()
+        ));
+    }
     Ok(Options {
         target,
         params,
+        scheme,
         csv,
         serial,
     })
 }
 
 fn usage() -> String {
-    "usage: vccmin-repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|analysis|lowvolt|highvolt|all> [--instructions N] [--pairs K] [--seed S] [--pfail P] [--csv] [--serial]".to_string()
+    "usage: vccmin-repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|analysis|lowvolt|highvolt|schemes|all> [--scheme baseline|block-disable|word-disable|bit-fix|way-sacrifice] [--instructions N] [--pairs K] [--seed S] [--pfail P] [--csv] [--serial]".to_string()
 }
 
 fn emit(table: &FigureTable, csv: bool) {
@@ -107,6 +139,7 @@ fn run_analysis(csv: bool) {
     emit(&af::figure5(af::DEFAULT_STEPS), csv);
     emit(&af::figure6(af::DEFAULT_STEPS), csv);
     emit(&af::figure7(af::DEFAULT_STEPS), csv);
+    emit(&af::scheme_capacity_figure(af::DEFAULT_STEPS), csv);
     print_table1();
 }
 
@@ -145,6 +178,26 @@ fn run_lowvolt(params: &SimulationParams, csv: bool, serial: bool) {
         100.0 * block_vc,
         100.0 * (block_vc / word - 1.0)
     );
+}
+
+fn run_schemes(params: &SimulationParams, csv: bool, serial: bool, scheme: Option<SchemeConfig>) {
+    let described = match scheme {
+        Some(s) => format!("scheme {}", s.scheme().name()),
+        None => "full scheme matrix".to_string(),
+    };
+    eprintln!(
+        "running {described}: {} benchmarks x {} fault-map pairs x {} instructions ({})",
+        params.benchmarks.len(),
+        params.fault_map_pairs,
+        params.instructions,
+        executor_label(serial),
+    );
+    let study = match scheme {
+        Some(s) => SchemeMatrixStudy::run_single(params, s, serial),
+        None if serial => SchemeMatrixStudy::run(params),
+        None => SchemeMatrixStudy::run_parallel(params),
+    };
+    emit(&study.table(), csv);
 }
 
 fn run_highvolt(params: &SimulationParams, csv: bool, serial: bool) {
@@ -193,10 +246,12 @@ fn main() -> ExitCode {
         "analysis" => run_analysis(csv),
         "fig8" | "fig9" | "fig10" | "lowvolt" => run_lowvolt(p, csv, serial),
         "fig11" | "fig12" | "highvolt" => run_highvolt(p, csv, serial),
+        "schemes" => run_schemes(p, csv, serial, options.scheme),
         "all" => {
             run_analysis(csv);
             run_lowvolt(p, csv, serial);
             run_highvolt(p, csv, serial);
+            run_schemes(p, csv, serial, None);
         }
         other => {
             eprintln!("unknown target {other}\n{}", usage());

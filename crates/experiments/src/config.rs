@@ -1,8 +1,6 @@
 //! The named cache configurations of Table III of the paper.
 
-use vccmin_cache::{
-    DisablingScheme, HierarchyConfig, VictimCacheConfig, VoltageMode,
-};
+use vccmin_cache::{DisablingScheme, HierarchyConfig, VictimCacheConfig, VoltageMode};
 
 /// One of the cache configurations compared in the paper's evaluation (Table III).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -26,10 +24,17 @@ pub enum SchemeConfig {
     /// Block-disabling with a 16-entry 6T victim cache (half the entries assumed
     /// usable at low voltage).
     BlockDisablingVictim6T,
+    /// Bit-fix (after Wilkerson et al.): one way per faulty set sacrificed for
+    /// repair patterns, +2 cycles at low voltage, no victim cache.
+    BitFix,
+    /// Way-sacrifice / set-remap: the worst way of every set disabled at low
+    /// voltage, no latency overhead, no victim cache.
+    WaySacrifice,
 }
 
-/// Every configuration whose low-voltage behavior the paper reports.
-pub const ALL_LOW_VOLTAGE_SCHEMES: [SchemeConfig; 7] = [
+/// Every configuration whose low-voltage behavior the repo reports (the paper's
+/// seven Table III rows plus the two additional repair schemes).
+pub const ALL_LOW_VOLTAGE_SCHEMES: [SchemeConfig; 9] = [
     SchemeConfig::Baseline,
     SchemeConfig::BaselineVictim,
     SchemeConfig::WordDisabling,
@@ -37,6 +42,8 @@ pub const ALL_LOW_VOLTAGE_SCHEMES: [SchemeConfig; 7] = [
     SchemeConfig::BlockDisabling,
     SchemeConfig::BlockDisablingVictim10T,
     SchemeConfig::BlockDisablingVictim6T,
+    SchemeConfig::BitFix,
+    SchemeConfig::WaySacrifice,
 ];
 
 impl SchemeConfig {
@@ -51,6 +58,8 @@ impl SchemeConfig {
             Self::BlockDisabling => "block disabling",
             Self::BlockDisablingVictim10T => "block disabling+V$ 10T",
             Self::BlockDisablingVictim6T => "block disabling+V$ 6T",
+            Self::BitFix => "bit fix",
+            Self::WaySacrifice => "way sacrifice",
         }
     }
 
@@ -63,6 +72,21 @@ impl SchemeConfig {
             Self::BlockDisabling
             | Self::BlockDisablingVictim10T
             | Self::BlockDisablingVictim6T => DisablingScheme::BlockDisabling,
+            Self::BitFix => DisablingScheme::BitFix,
+            Self::WaySacrifice => DisablingScheme::WaySacrifice,
+        }
+    }
+
+    /// The victim-cache-less configuration for a base repair scheme — what
+    /// `vccmin-repro --scheme <name>` selects.
+    #[must_use]
+    pub fn for_scheme(scheme: DisablingScheme) -> Self {
+        match scheme {
+            DisablingScheme::Baseline => Self::Baseline,
+            DisablingScheme::BlockDisabling => Self::BlockDisabling,
+            DisablingScheme::WordDisabling => Self::WordDisabling,
+            DisablingScheme::BitFix => Self::BitFix,
+            DisablingScheme::WaySacrifice => Self::WaySacrifice,
         }
     }
 
@@ -70,7 +94,11 @@ impl SchemeConfig {
     #[must_use]
     pub fn victim(self) -> Option<VictimCacheConfig> {
         match self {
-            Self::Baseline | Self::WordDisabling | Self::BlockDisabling => None,
+            Self::Baseline
+            | Self::WordDisabling
+            | Self::BlockDisabling
+            | Self::BitFix
+            | Self::WaySacrifice => None,
             Self::BaselineVictim | Self::WordDisablingVictim | Self::BlockDisablingVictim10T => {
                 Some(VictimCacheConfig::ispass2010_10t())
             }
@@ -82,7 +110,7 @@ impl SchemeConfig {
     /// map (and therefore must be evaluated over many maps).
     #[must_use]
     pub fn fault_dependent(self) -> bool {
-        !matches!(self, Self::Baseline | Self::BaselineVictim)
+        self.scheme().repair().needs_fault_map()
     }
 
     /// Builds the full hierarchy configuration of Table III for this scheme at the
@@ -140,10 +168,10 @@ mod tests {
     fn hierarchy_configs_follow_table_three() {
         let low = SchemeConfig::WordDisabling.hierarchy_config(VoltageMode::Low);
         assert_eq!(low.memory_latency, HierarchyConfig::MEMORY_LATENCY_LOW_VOLTAGE);
-        assert_eq!(low.l1d.hit_latency(), 4);
+        assert_eq!(low.l1d.hit_latency(VoltageMode::Low), 4);
         let high = SchemeConfig::BlockDisabling.hierarchy_config(VoltageMode::High);
         assert_eq!(high.memory_latency, HierarchyConfig::MEMORY_LATENCY_HIGH_VOLTAGE);
-        assert_eq!(high.l1d.hit_latency(), 3);
+        assert_eq!(high.l1d.hit_latency(VoltageMode::High), 3);
         assert!(SchemeConfig::BaselineVictim
             .hierarchy_config(VoltageMode::High)
             .l1d
@@ -154,5 +182,22 @@ mod tests {
     #[test]
     fn display_matches_label() {
         assert_eq!(SchemeConfig::BlockDisabling.to_string(), "block disabling");
+    }
+
+    #[test]
+    fn new_schemes_are_wired_into_the_matrix() {
+        assert_eq!(SchemeConfig::BitFix.scheme(), DisablingScheme::BitFix);
+        assert!(SchemeConfig::BitFix.fault_dependent());
+        assert!(SchemeConfig::WaySacrifice.fault_dependent());
+        assert!(SchemeConfig::BitFix.victim().is_none());
+        assert!(SchemeConfig::WaySacrifice.victim().is_none());
+        for scheme in DisablingScheme::ALL {
+            assert_eq!(SchemeConfig::for_scheme(scheme).scheme(), scheme);
+            assert!(ALL_LOW_VOLTAGE_SCHEMES.contains(&SchemeConfig::for_scheme(scheme)));
+        }
+        // Bit-fix pays its two fix-pipeline cycles only below Vcc-min.
+        let low = SchemeConfig::BitFix.hierarchy_config(VoltageMode::Low);
+        assert_eq!(low.l1d.hit_latency(VoltageMode::Low), 5);
+        assert_eq!(low.l1d.hit_latency(VoltageMode::High), 3);
     }
 }

@@ -9,9 +9,12 @@
 //! * [`config`] — the named cache configurations of Table III (baseline,
 //!   word-disabling, block-disabling, with and without victim caches, at high and
 //!   low voltage);
-//! * [`simulation`] — the simulation campaigns behind Figs. 8–12: every SPEC-like
+//! * [`simulation`] — the simulation campaigns behind Figs. 8–12 (every SPEC-like
 //!   benchmark, every configuration, multiple random fault-map pairs, reported as
-//!   mean and minimum normalized performance;
+//!   mean and minimum normalized performance) plus the
+//!   [`SchemeMatrixStudy`](simulation::SchemeMatrixStudy) that compares every
+//!   repair scheme in the registry — baseline, word-disabling, block-disabling,
+//!   bit-fix and way-sacrifice — through the same executor;
 //! * [`report`] — plain-text rendering of series and tables, used by the example
 //!   binaries, the `vccmin-repro` CLI and the benches.
 //!
@@ -39,4 +42,6 @@ pub mod simulation;
 
 pub use config::{SchemeConfig, ALL_LOW_VOLTAGE_SCHEMES};
 pub use overhead::{OverheadRow, OverheadTable};
-pub use simulation::{BenchmarkResult, HighVoltageStudy, LowVoltageStudy, SimulationParams};
+pub use simulation::{
+    BenchmarkResult, HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy, SimulationParams,
+};

@@ -51,6 +51,9 @@ impl OverheadRow {
 pub struct OverheadParams {
     /// Number of blocks in the cache (512).
     pub blocks: u64,
+    /// Ways per set (8) — the way-pointer repair schemes (bit-fix,
+    /// way-sacrifice) need `log2` of this many bits per set.
+    pub associativity: u64,
     /// Tag + valid bits per block (25).
     pub tag_bits_per_block: u64,
     /// Words per block (16) — word-disabling needs one fault-mask bit per word.
@@ -69,6 +72,7 @@ impl OverheadParams {
     pub fn ispass2010() -> Self {
         Self {
             blocks: 512,
+            associativity: 8,
             tag_bits_per_block: 25,
             words_per_block: 16,
             victim_entries: 16,
@@ -81,6 +85,18 @@ impl OverheadParams {
     #[must_use]
     pub fn victim_bits(&self) -> u64 {
         self.victim_tag_bits + self.victim_entries * self.victim_block_bits
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        self.blocks / self.associativity
+    }
+
+    /// Bits needed for one way pointer (`log2(associativity)`, at least 1).
+    #[must_use]
+    pub fn way_pointer_bits(&self) -> u64 {
+        u64::from(self.associativity.next_power_of_two().trailing_zeros()).max(1)
     }
 }
 
@@ -127,6 +143,26 @@ impl OverheadTable {
                 tag_6t,
                 p.blocks * T10,
                 victim_6t + p.victim_entries * T10,
+                false,
+            ),
+            // Bit-fix stores its repair patterns in the sacrificed way itself, so
+            // its extra storage is only the robust tag array, one fix-way pointer
+            // per set and a per-block "repaired" bit; the fix/realign network sits
+            // in the data path like word-disabling's alignment network.
+            OverheadRow::new(
+                "Bit Fix",
+                tag_10t,
+                p.sets() * p.way_pointer_bits() * T10 + p.blocks * T10,
+                0,
+                true,
+            ),
+            // Way-sacrifice needs one worst-way pointer per set plus the same
+            // per-block disable bits as block-disabling for residual faults.
+            OverheadRow::new(
+                "Way Sacrifice",
+                tag_6t,
+                p.sets() * p.way_pointer_bits() * T10 + p.blocks * T10,
+                0,
                 false,
             ),
         ];
@@ -184,13 +220,21 @@ mod tests {
             t.row("Block Disabling+V$ 6T").unwrap().total_transistors,
             131_418
         );
+        // The two additional repair schemes: 10T tags + 3-bit way pointer per set
+        // + one bit per block for bit-fix; 6T tags + the same pointers/bits for
+        // way-sacrifice.
+        assert_eq!(t.row("Bit Fix").unwrap().total_transistors, 135_040);
+        assert_eq!(t.row("Way Sacrifice").unwrap().total_transistors, 83_840);
     }
 
     #[test]
-    fn only_word_disabling_needs_an_alignment_network() {
+    fn only_data_path_rewiring_schemes_need_an_alignment_network() {
         let t = OverheadTable::ispass2010();
         for row in t.rows() {
-            assert_eq!(row.alignment_network, row.scheme == "Word Disabling");
+            assert_eq!(
+                row.alignment_network,
+                row.scheme == "Word Disabling" || row.scheme == "Bit Fix"
+            );
         }
     }
 
@@ -229,5 +273,30 @@ mod tests {
     #[test]
     fn victim_bits_follow_the_paper_accounting() {
         assert_eq!(OverheadParams::ispass2010().victim_bits(), 31 + 16 * 512);
+    }
+
+    #[test]
+    fn way_pointer_accounting() {
+        let p = OverheadParams::ispass2010();
+        assert_eq!(p.sets(), 64);
+        assert_eq!(p.way_pointer_bits(), 3);
+        let direct_mapped = OverheadParams {
+            associativity: 1,
+            ..p
+        };
+        assert_eq!(direct_mapped.way_pointer_bits(), 1);
+    }
+
+    #[test]
+    fn way_sacrifice_is_barely_more_expensive_than_block_disabling() {
+        let t = OverheadTable::ispass2010();
+        let block = t.row("Block Disabling").unwrap().total_transistors;
+        let ws = t.row("Way Sacrifice").unwrap().total_transistors;
+        let word = t.row("Word Disabling").unwrap().total_transistors;
+        assert!(ws > block && ws < word);
+        // Bit-fix needs robust tags, so it costs more than the 6T-tag schemes
+        // but still clearly less than word-disabling's per-word fault masks.
+        let bitfix = t.row("Bit Fix").unwrap().total_transistors;
+        assert!(bitfix > ws && bitfix < word);
     }
 }

@@ -8,7 +8,9 @@
 //! `pfail = 0.001`).
 
 use rayon::prelude::*;
-use vccmin_cache::{CacheGeometry, CacheHierarchy, FaultMap, HierarchyConfig, VoltageMode};
+use vccmin_cache::{
+    CacheGeometry, CacheHierarchy, DisablingScheme, FaultMap, HierarchyConfig, VoltageMode,
+};
 use vccmin_cpu::{CpuConfig, Pipeline, SimResult};
 use vccmin_fault::SeedSequence;
 use vccmin_workloads::{Benchmark, TraceGenerator};
@@ -215,15 +217,12 @@ fn map_dependent(scheme: SchemeConfig, voltage: VoltageMode) -> bool {
 }
 
 /// Whether each fault-map pair of a map-dependent configuration is an
-/// independent unit of work. Word-disabling is the exception: the serial loop
-/// stops after the first usable pair (capacity is always halved, so every
-/// usable map performs identically), which makes later pairs depend on the
-/// earlier outcomes.
+/// independent unit of work. Schemes whose repaired organization is identical
+/// for every usable map (word-disabling's always-halved cache) are the
+/// exception: the serial loop stops after the first usable pair, which makes
+/// later pairs depend on the earlier outcomes.
 fn pairs_independent(scheme: SchemeConfig) -> bool {
-    !matches!(
-        scheme,
-        SchemeConfig::WordDisabling | SchemeConfig::WordDisablingVictim
-    )
+    !scheme.scheme().repair().performance_uniform_across_maps()
 }
 
 /// Runs one (benchmark, configuration) pair at the given voltage over the campaign's
@@ -659,6 +658,107 @@ impl HighVoltageStudy {
     }
 }
 
+/// A low-voltage campaign over the repair-scheme matrix: every base scheme
+/// (no victim caches) against the fault-free baseline. This is the study behind
+/// `vccmin-repro schemes` / `--scheme`, and the natural home for schemes that
+/// are not part of the paper's original figures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeMatrixStudy {
+    /// Per-benchmark results.
+    pub benchmarks: Vec<BenchmarkResult>,
+    /// The configurations that were evaluated (baseline first).
+    schemes: Vec<SchemeConfig>,
+}
+
+impl SchemeMatrixStudy {
+    /// The full matrix: one victim-cache-less configuration per scheme in the
+    /// repair registry, in registry order — a scheme added to the registry
+    /// joins this study (and its figure table) automatically.
+    #[must_use]
+    pub fn matrix_schemes() -> [SchemeConfig; DisablingScheme::ALL.len()] {
+        DisablingScheme::ALL.map(SchemeConfig::for_scheme)
+    }
+
+    /// Runs the full scheme matrix serially.
+    #[must_use]
+    pub fn run(params: &SimulationParams) -> Self {
+        let schemes = Self::matrix_schemes();
+        Self {
+            benchmarks: run_campaign(params, &schemes, VoltageMode::Low),
+            schemes: schemes.to_vec(),
+        }
+    }
+
+    /// Runs the full scheme matrix on all available cores (bit-identical to
+    /// [`SchemeMatrixStudy::run`]).
+    #[must_use]
+    pub fn run_parallel(params: &SimulationParams) -> Self {
+        let schemes = Self::matrix_schemes();
+        Self {
+            benchmarks: run_campaign_parallel(params, &schemes, VoltageMode::Low),
+            schemes: schemes.to_vec(),
+        }
+    }
+
+    /// Runs a single scheme (plus the baseline it is normalized to).
+    #[must_use]
+    pub fn run_single(params: &SimulationParams, scheme: SchemeConfig, serial: bool) -> Self {
+        let mut schemes = vec![SchemeConfig::Baseline];
+        if scheme != SchemeConfig::Baseline {
+            schemes.push(scheme);
+        }
+        let benchmarks = if serial {
+            run_campaign(params, &schemes, VoltageMode::Low)
+        } else {
+            run_campaign_parallel(params, &schemes, VoltageMode::Low)
+        };
+        Self { benchmarks, schemes }
+    }
+
+    /// The configurations this study evaluated, baseline first.
+    #[must_use]
+    pub fn schemes(&self) -> &[SchemeConfig] {
+        &self.schemes
+    }
+
+    /// The scheme-matrix table: per benchmark, the mean and worst-fault-map
+    /// performance of every evaluated scheme, normalized to the fault-free
+    /// baseline.
+    #[must_use]
+    pub fn table(&self) -> FigureTable {
+        let mut columns: Vec<SchemeConfig> = self
+            .schemes
+            .iter()
+            .copied()
+            .filter(|&s| s != SchemeConfig::Baseline)
+            .collect();
+        if columns.is_empty() {
+            // A baseline-only run still gets a (trivially 1.0) column rather
+            // than a degenerate zero-column table.
+            columns.push(SchemeConfig::Baseline);
+        }
+        let mut labels = Vec::new();
+        for &scheme in &columns {
+            labels.push(format!("{} avg", scheme.label()));
+            labels.push(format!("{} min", scheme.label()));
+        }
+        let mut table = FigureTable::new(
+            "Scheme matrix: below Vcc-min, normalized to the fault-free baseline",
+            "benchmark",
+            labels,
+        );
+        for b in &self.benchmarks {
+            let mut values = Vec::new();
+            for &scheme in &columns {
+                values.push(b.normalized_mean(scheme, SchemeConfig::Baseline));
+                values.push(b.normalized_min(scheme, SchemeConfig::Baseline));
+            }
+            table.push_row(b.benchmark.name(), values);
+        }
+        table
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -757,6 +857,42 @@ mod tests {
             "expected at least one whole-cache failure at pfail = {}",
             params.pfail
         );
+    }
+
+    #[test]
+    fn scheme_matrix_parallel_is_bit_identical_to_serial() {
+        let mut params = SimulationParams::smoke();
+        params.benchmarks = vec![Benchmark::Gzip];
+        params.instructions = 5_000;
+        let serial = SchemeMatrixStudy::run(&params);
+        let parallel = SchemeMatrixStudy::run_parallel(&params);
+        assert_eq!(serial, parallel);
+        let table = serial.table();
+        assert_eq!(table.rows.len(), 1);
+        // Four non-baseline schemes, two columns (avg, min) each.
+        assert_eq!(table.series_labels.len(), 8);
+        for v in &table.rows[0].1 {
+            assert!((0.1..=1.2).contains(v), "normalized value {v} out of range");
+        }
+    }
+
+    #[test]
+    fn single_scheme_run_evaluates_only_that_scheme_and_its_baseline() {
+        let mut params = SimulationParams::smoke();
+        params.benchmarks = vec![Benchmark::Mcf];
+        params.instructions = 5_000;
+        let study = SchemeMatrixStudy::run_single(&params, SchemeConfig::WaySacrifice, false);
+        assert_eq!(
+            study.schemes(),
+            &[SchemeConfig::Baseline, SchemeConfig::WaySacrifice]
+        );
+        let table = study.table();
+        assert_eq!(table.series_labels.len(), 2);
+        let avg = table.rows[0].1[0];
+        let min = table.rows[0].1[1];
+        assert!(avg > 0.0 && min <= avg + 1e-9);
+        let serial = SchemeMatrixStudy::run_single(&params, SchemeConfig::WaySacrifice, true);
+        assert_eq!(study, serial, "serial and parallel single-scheme runs agree");
     }
 
     // The end-to-end campaign tests live in the workspace-level integration tests

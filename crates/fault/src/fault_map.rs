@@ -253,6 +253,43 @@ impl FaultMap {
         })
     }
 
+    /// The union of two fault maps: a block's word is faulty (and a tag is
+    /// faulty) if it is faulty in *either* map. The result is a fault superset
+    /// of both inputs, which is what the repair-scheme monotonicity properties
+    /// quantify over ("more faults never increase capacity").
+    ///
+    /// The resulting map keeps `self`'s seed and the larger of the two `pfail`
+    /// values as metadata.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two maps were generated for different geometries.
+    #[must_use]
+    pub fn union(&self, other: &FaultMap) -> FaultMap {
+        assert_eq!(
+            self.geometry, other.geometry,
+            "fault maps must share a geometry to be merged"
+        );
+        let blocks = self
+            .blocks
+            .iter()
+            .zip(&other.blocks)
+            .map(|(a, b)| {
+                BlockFaults::new(
+                    a.words(),
+                    a.faulty_word_mask() | b.faulty_word_mask(),
+                    a.tag_is_faulty() || b.tag_is_faulty(),
+                )
+            })
+            .collect();
+        FaultMap {
+            geometry: self.geometry,
+            pfail: self.pfail.max(other.pfail),
+            seed: self.seed,
+            blocks,
+        }
+    }
+
     /// Aggregate statistics of the map.
     #[must_use]
     pub fn stats(&self) -> FaultMapStats {
@@ -395,6 +432,35 @@ mod tests {
         assert_eq!(b.words(), 16);
         assert_eq!(b.faulty_word_mask(), 0b1010);
         assert!(!BlockFaults::fault_free(16).has_any_fault());
+    }
+
+    #[test]
+    fn union_is_a_superset_of_both_operands() {
+        let a = FaultMap::generate(&l1(), 0.002, 1);
+        let b = FaultMap::generate(&l1(), 0.002, 2);
+        let u = a.union(&b);
+        for set in 0..l1().sets() {
+            for way in 0..l1().associativity() {
+                let (ba, bb, bu) = (a.block(set, way), b.block(set, way), u.block(set, way));
+                assert_eq!(
+                    bu.faulty_word_mask(),
+                    ba.faulty_word_mask() | bb.faulty_word_mask()
+                );
+                assert_eq!(bu.tag_is_faulty(), ba.tag_is_faulty() || bb.tag_is_faulty());
+            }
+        }
+        assert!(u.fault_free_blocks() <= a.fault_free_blocks().min(b.fault_free_blocks()));
+        // Union with itself (or a fault-free map) is the identity on the faults.
+        assert_eq!(a.union(&a).stats(), a.stats());
+        assert_eq!(a.union(&FaultMap::fault_free(&l1())).stats(), a.stats());
+    }
+
+    #[test]
+    #[should_panic(expected = "share a geometry")]
+    fn union_rejects_mismatched_geometries() {
+        let a = FaultMap::generate(&l1(), 0.001, 1);
+        let b = FaultMap::generate(&CacheGeometry::ispass2010_l2(), 0.001, 1);
+        let _ = a.union(&b);
     }
 
     #[test]

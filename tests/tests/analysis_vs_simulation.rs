@@ -4,6 +4,7 @@
 
 use vccmin_core::analysis::word_disable::WordDisableParams;
 use vccmin_core::analysis::{block_faults, capacity::CapacityDistribution, word_disable};
+use vccmin_core::cache::repair;
 use vccmin_core::cache::{DisablingScheme, L1Config, VoltageMode};
 use vccmin_core::{CacheGeometry, FaultMap};
 
@@ -73,6 +74,52 @@ fn low_voltage_organizations_expose_the_analytical_capacities() {
         "sampled block-disable capacity {block_capacity} far from the analytical mean"
     );
     assert!(block_capacity > word_capacity);
+}
+
+#[test]
+fn every_schemes_analytical_capacity_matches_monte_carlo() {
+    // The closed-form expected-capacity model of each repair scheme and the
+    // Monte-Carlo mean over sampled fault maps are independent implementations
+    // of the same quantity; they must agree within sampling noise. Whole-cache
+    // failures (word-disabling) count as zero capacity on both sides.
+    let geom = CacheGeometry::ispass2010_l1();
+    let n = 150u64;
+    for &pfail in &[0.001, 0.003] {
+        let maps: Vec<FaultMap> = (0..n)
+            .map(|s| FaultMap::generate(&geom, pfail, 0xC0FFEE ^ s))
+            .collect();
+        for scheme in repair::registry() {
+            let analytical = scheme.expected_capacity(&geom, pfail);
+            let empirical = maps
+                .iter()
+                .map(|m| scheme.effective_capacity(m).unwrap_or(0.0))
+                .sum::<f64>()
+                / n as f64;
+            assert!(
+                (empirical - analytical).abs() < 0.02,
+                "{} at pfail={pfail}: Monte-Carlo {empirical} vs analytical {analytical}",
+                scheme.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn analytical_capacity_ordering_matches_the_scheme_story() {
+    // bit-fix >= block-disable >= way-sacrifice > word-disable at the paper's
+    // operating point, for both the analytical models and a sampled map.
+    let geom = CacheGeometry::ispass2010_l1();
+    let pfail = 0.001;
+    let cap = |s: DisablingScheme| s.repair().expected_capacity(&geom, pfail);
+    assert!(cap(DisablingScheme::BitFix) >= cap(DisablingScheme::BlockDisabling));
+    assert!(cap(DisablingScheme::BlockDisabling) >= cap(DisablingScheme::WaySacrifice));
+    assert!(cap(DisablingScheme::WaySacrifice) > cap(DisablingScheme::WordDisabling));
+
+    let map = FaultMap::generate(&geom, pfail, 7);
+    let eff = |s: DisablingScheme| s.repair().effective_capacity(&map).unwrap();
+    assert!(eff(DisablingScheme::BitFix) >= eff(DisablingScheme::BlockDisabling));
+    assert!(eff(DisablingScheme::BlockDisabling) >= eff(DisablingScheme::WaySacrifice));
+    assert!(eff(DisablingScheme::WaySacrifice) > eff(DisablingScheme::WordDisabling));
 }
 
 #[test]

@@ -5,9 +5,16 @@ use proptest::prelude::*;
 
 use vccmin_core::analysis::word_disable::WordDisableParams;
 use vccmin_core::analysis::{block_faults, capacity::CapacityDistribution, incremental, word_disable};
+use vccmin_core::cache::repair;
 use vccmin_core::cache::{CacheHierarchy, DisablingScheme, HierarchyConfig, HitLevel, VoltageMode};
 use vccmin_core::cpu::{CpuConfig, OpClass, Pipeline, TraceInstruction};
-use vccmin_core::{ArrayGeometry, CacheGeometry, FaultMap};
+use vccmin_core::{ArrayGeometry, CacheGeometry, FaultMap, RepairScheme};
+
+/// A scheme's usable capacity fraction for a fault map, counting an
+/// unrepairable cache (whole-cache failure) as zero capacity.
+fn capacity_or_zero(scheme: &dyn RepairScheme, map: &FaultMap) -> f64 {
+    scheme.effective_capacity(map).unwrap_or(0.0)
+}
 
 fn small_pfail() -> impl Strategy<Value = f64> {
     0.0..0.02f64
@@ -117,6 +124,69 @@ proptest! {
         prop_assert_eq!(per_set_sum, map.fault_free_blocks());
         // Regenerating with the same seed reproduces the same map.
         prop_assert_eq!(&map, &FaultMap::generate(&geom, pfail, seed));
+    }
+
+    // --------------------------------------------------------- repair schemes ----
+
+    #[test]
+    fn no_scheme_ever_exceeds_the_fault_free_capacity(
+        pfail in 0.0..0.05f64,
+        seed in any::<u64>(),
+    ) {
+        let geom = CacheGeometry::ispass2010_l1();
+        let map = FaultMap::generate(&geom, pfail, seed);
+        for scheme in repair::registry() {
+            let cap = capacity_or_zero(scheme, &map);
+            prop_assert!(
+                (0.0..=1.0).contains(&cap),
+                "{}: capacity {cap} outside [0, 1]", scheme.name()
+            );
+        }
+        // On a fault-free map every scheme that disables only faulty storage
+        // keeps everything; way-sacrifice gives up exactly one way per set.
+        let clean = FaultMap::fault_free(&geom);
+        for scheme in [DisablingScheme::Baseline, DisablingScheme::BlockDisabling, DisablingScheme::BitFix] {
+            prop_assert_eq!(capacity_or_zero(scheme.repair(), &clean), 1.0);
+        }
+    }
+
+    #[test]
+    fn bit_fix_retains_at_least_block_disabling_capacity(
+        pfail in 0.0..0.05f64,
+        seed in any::<u64>(),
+    ) {
+        let geom = CacheGeometry::ispass2010_l1();
+        let map = FaultMap::generate(&geom, pfail, seed);
+        let bitfix = capacity_or_zero(DisablingScheme::BitFix.repair(), &map);
+        let block = capacity_or_zero(DisablingScheme::BlockDisabling.repair(), &map);
+        prop_assert!(
+            bitfix >= block,
+            "bit-fix ({bitfix}) must dominate block-disabling ({block}): the \
+             sacrificed way is always faulty and repaired blocks only add capacity"
+        );
+        // Way-sacrifice sits on the other side of block-disabling.
+        let ws = capacity_or_zero(DisablingScheme::WaySacrifice.repair(), &map);
+        prop_assert!(ws <= block, "way-sacrifice ({ws}) above block-disabling ({block})");
+    }
+
+    #[test]
+    fn disabling_a_superset_of_faults_never_increases_capacity(
+        pfail_a in 0.0..0.02f64,
+        pfail_b in 0.0..0.02f64,
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        let geom = CacheGeometry::ispass2010_l1();
+        let a = FaultMap::generate(&geom, pfail_a, seed_a);
+        let superset = a.union(&FaultMap::generate(&geom, pfail_b, seed_b));
+        for scheme in repair::registry() {
+            let before = capacity_or_zero(scheme, &a);
+            let after = capacity_or_zero(scheme, &superset);
+            prop_assert!(
+                after <= before + 1e-12,
+                "{}: adding faults raised capacity {before} -> {after}", scheme.name()
+            );
+        }
     }
 
     // ---------------------------------------------------------------- caches ----
