@@ -25,6 +25,9 @@
 //!   the worst way of every set — [`way_sacrifice`];
 //! * the illustrative voltage/power/performance scaling curves of Fig. 1 —
 //!   [`voltage`];
+//! * a closed-form time/energy/EDP model of a runtime voltage-mode governor
+//!   that alternates between nominal and below-Vcc-min execution —
+//!   [`governor`];
 //! * expected victim-cache entry survival at low voltage — [`victim`].
 //!
 //! # Example
@@ -49,6 +52,7 @@ pub mod capacity;
 pub mod combinatorics;
 pub mod error;
 pub mod geometry;
+pub mod governor;
 pub mod incremental;
 pub mod victim;
 pub mod voltage;

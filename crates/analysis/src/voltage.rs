@@ -72,6 +72,25 @@ impl VoltageScalingModel {
         }
     }
 
+    /// The operating points of the paper's *simulated* machine (Table III):
+    /// nominal 3 GHz at full voltage, below Vcc-min 600 MHz (normalized
+    /// frequency 0.2) at half voltage. Unlike
+    /// [`VoltageScalingModel::paper_illustration`], whose proportions follow
+    /// the Fig. 1 sketch, this model is consistent with the cycle-level
+    /// simulator's per-mode memory latencies (51 = 255 x 0.2 cycles), so
+    /// wall-clock and energy accounting composed from simulated cycle counts
+    /// line up with the machine the cycles were measured on.
+    #[must_use]
+    pub fn ispass2010_operating_points() -> Self {
+        Self {
+            vccmin_frequency: 0.7,
+            vccmin_voltage: 0.7,
+            low_voltage_frequency: 0.2,
+            low_voltage_floor: 0.5,
+            low_voltage_perf_penalty: 0.083,
+        }
+    }
+
     /// Normalized voltage for a normalized frequency under *classic* DVS (Fig. 1a):
     /// voltage tracks frequency down to Vcc-min and is pinned there below it.
     #[must_use]
@@ -128,6 +147,38 @@ impl VoltageScalingModel {
             .collect()
     }
 
+    /// The below-Vcc-min operating point at a normalized frequency: voltage from
+    /// [`VoltageScalingModel::below_vccmin_voltage`], dynamic power `V^2 * F`,
+    /// and performance with the capacity-induced penalty of the active region.
+    /// This is the per-mode building block of the governor energy model
+    /// (`governor::normalized_time` / `governor::normalized_energy`).
+    #[must_use]
+    pub fn point_at(&self, frequency: f64) -> ScalingPoint {
+        let f = frequency.clamp(0.0, 1.0);
+        let v = self.below_vccmin_voltage(f);
+        let perf = match self.region(f) {
+            OperatingRegion::Cubic => f,
+            OperatingRegion::LowVoltage => {
+                // Penalty ramps from 0 at Vcc-min to `low_voltage_perf_penalty`
+                // at the floor.
+                let span = self.vccmin_frequency - self.low_voltage_frequency;
+                let depth = if span > 0.0 {
+                    (self.vccmin_frequency - f) / span
+                } else {
+                    1.0
+                };
+                f * (1.0 - self.low_voltage_perf_penalty * depth)
+            }
+            OperatingRegion::Linear => f * (1.0 - self.low_voltage_perf_penalty),
+        };
+        ScalingPoint {
+            frequency: f,
+            voltage: v,
+            power: v * v * f,
+            performance: perf,
+        }
+    }
+
     /// Fig. 1b curve: DVS extended below Vcc-min. In the low-voltage region the
     /// performance degrades sub-linearly — frequency loss plus a capacity-induced
     /// penalty that grows as voltage keeps dropping.
@@ -135,33 +186,7 @@ impl VoltageScalingModel {
     pub fn below_vccmin_curve(&self, steps: usize) -> Vec<ScalingPoint> {
         assert!(steps >= 2, "a curve needs at least two points");
         (0..steps)
-            .map(|i| {
-                let f = i as f64 / (steps - 1) as f64;
-                let v = self.below_vccmin_voltage(f);
-                let perf = match self.region(f) {
-                    OperatingRegion::Cubic => f,
-                    OperatingRegion::LowVoltage => {
-                        // Penalty ramps from 0 at Vcc-min to `low_voltage_perf_penalty`
-                        // at the floor.
-                        let span = self.vccmin_frequency - self.low_voltage_frequency;
-                        let depth = if span > 0.0 {
-                            (self.vccmin_frequency - f) / span
-                        } else {
-                            1.0
-                        };
-                        f * (1.0 - self.low_voltage_perf_penalty * depth)
-                    }
-                    OperatingRegion::Linear => {
-                        f * (1.0 - self.low_voltage_perf_penalty)
-                    }
-                };
-                ScalingPoint {
-                    frequency: f,
-                    voltage: v,
-                    power: v * v * f,
-                    performance: perf,
-                }
-            })
+            .map(|i| self.point_at(i as f64 / (steps - 1) as f64))
             .collect()
     }
 }
@@ -225,6 +250,35 @@ mod tests {
             }
             assert!(p.performance >= p.frequency * (1.0 - m.low_voltage_perf_penalty) - 1e-12);
         }
+    }
+
+    #[test]
+    fn point_at_agrees_with_the_curve_samples() {
+        let m = VoltageScalingModel::paper_illustration();
+        let curve = m.below_vccmin_curve(41);
+        for p in &curve {
+            assert_eq!(*p, m.point_at(p.frequency));
+        }
+        // The nominal point is the (1, 1, 1, 1) corner.
+        let nominal = m.point_at(1.0);
+        assert_eq!(nominal.power, 1.0);
+        assert_eq!(nominal.performance, 1.0);
+        // The low-voltage floor keeps the cubic power reduction.
+        let floor = m.point_at(m.low_voltage_frequency);
+        assert!((floor.power - 0.125).abs() < 1e-12);
+        assert!(floor.performance < floor.frequency);
+    }
+
+    #[test]
+    fn simulated_machine_operating_points_match_table_three_clocks() {
+        let m = VoltageScalingModel::ispass2010_operating_points();
+        // 600 MHz / 3 GHz, at half the nominal voltage.
+        let low = m.point_at(m.low_voltage_frequency);
+        assert_eq!(low.frequency, 0.2);
+        assert_eq!(low.voltage, 0.5);
+        assert!((low.power - 0.05).abs() < 1e-12, "V^2 F = 0.25 * 0.2");
+        assert!(low.performance < low.frequency);
+        assert_eq!(m.point_at(1.0).power, 1.0);
     }
 
     #[test]

@@ -165,6 +165,23 @@ pub trait RepairScheme: std::fmt::Debug + Send + Sync {
         false
     }
 
+    /// Cycles needed to reconfigure the cache when the core crosses Vcc-min in
+    /// either direction: the repair hardware walks every set to swap its
+    /// disable/remap metadata in or out, and each step is stretched by the
+    /// scheme's repair-pipeline depth (its worst-case extra hit latency). A
+    /// scheme that keeps no per-set repair state (the idealized baseline)
+    /// reconfigures for free. Voltage-mode governors charge this, plus a
+    /// pipeline drain, per transition.
+    fn reconfiguration_cycles(&self, geometry: &CacheGeometry) -> u64 {
+        if !self.needs_fault_map() {
+            return 0;
+        }
+        let pipeline_depth = self
+            .extra_latency(VoltageMode::Low)
+            .max(self.extra_latency(VoltageMode::High));
+        geometry.sets() * (1 + u64::from(pipeline_depth))
+    }
+
     /// Resolves the low-voltage organization for `map`.
     ///
     /// # Errors
@@ -654,6 +671,23 @@ mod tests {
         assert!((0.49..=0.5).contains(&word));
         assert!(bitfix > block);
         assert!(ws <= block && ws > word);
+    }
+
+    #[test]
+    fn reconfiguration_cost_tracks_repair_state_and_pipeline_depth() {
+        let geom = l1();
+        // The idealized baseline keeps no repair state: free transitions.
+        assert_eq!(BaselineScheme.reconfiguration_cycles(&geom), 0);
+        // One step per set, stretched by the repair-pipeline depth.
+        assert_eq!(BlockDisablingScheme.reconfiguration_cycles(&geom), 64);
+        assert_eq!(WordDisablingScheme.reconfiguration_cycles(&geom), 128);
+        assert_eq!(BitFixScheme.reconfiguration_cycles(&geom), 192);
+        assert_eq!(WaySacrificeScheme.reconfiguration_cycles(&geom), 64);
+        // Deeper repair pipelines and more sets can only cost more.
+        let l2 = CacheGeometry::ispass2010_l2();
+        for scheme in registry() {
+            assert!(scheme.reconfiguration_cycles(&l2) >= scheme.reconfiguration_cycles(&geom));
+        }
     }
 
     #[test]

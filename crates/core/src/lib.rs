@@ -82,10 +82,11 @@ pub use vccmin_cache::{CacheHierarchy, DisablingScheme, HierarchyConfig, Voltage
 pub use vccmin_cpu::{CpuConfig, Pipeline, SimResult};
 pub use vccmin_cache::{RepairScheme, WayDisableMask};
 pub use vccmin_experiments::{
-    LowVoltageStudy, OverheadTable, SchemeConfig, SchemeMatrixStudy, SimulationParams,
+    GovernedRun, GovernorPolicy, GovernorStudy, LowVoltageStudy, OverheadTable, SchemeConfig,
+    SchemeMatrixStudy, SimulationParams, TransitionCostModel,
 };
 pub use vccmin_fault::{CacheGeometry, FaultMap};
-pub use vccmin_workloads::{Benchmark, TraceGenerator};
+pub use vccmin_workloads::{Benchmark, PhaseSchedule, TraceGenerator, WorkloadPhase};
 
 #[cfg(test)]
 mod tests {

@@ -95,6 +95,35 @@ impl Pipeline {
         &self.hierarchy
     }
 
+    /// Resets every statistics counter (cache hierarchy, branch predictor)
+    /// while preserving cache contents and predictor training state. Callers
+    /// that issue multiple [`Pipeline::run`] calls on one pipeline (e.g. a
+    /// voltage-mode governor executing consecutive same-mode segments) use
+    /// this between calls so each [`SimResult`] reports *that segment's*
+    /// counters instead of pipeline-lifetime cumulative ones.
+    pub fn reset_stats(&mut self) {
+        self.hierarchy.reset_stats();
+        self.predictor.conditional_branches = 0;
+        self.predictor.mispredictions = 0;
+    }
+
+    /// Worst-case cycles to drain the machine before a voltage-mode transition:
+    /// stop fetching, let every in-flight instruction (up to a full ROB,
+    /// retiring `commit_width` per cycle) complete — including one outstanding
+    /// access that missed all the way to memory — and discard the front-end
+    /// stages. This is the pipeline-side component of a governor's transition
+    /// cost; the cache-side component is
+    /// [`RepairScheme::reconfiguration_cycles`](vccmin_cache::RepairScheme::reconfiguration_cycles).
+    #[must_use]
+    pub fn drain_cycles(&self) -> u64 {
+        let cfg = &self.config;
+        let rob_drain = (cfg.rob_entries as u64).div_ceil(u64::from(cfg.commit_width.max(1)));
+        let worst_memory_access = u64::from(
+            self.hierarchy.config().l2_latency + self.hierarchy.config().memory_latency,
+        );
+        u64::from(cfg.front_end_depth) + rob_drain + worst_memory_access
+    }
+
     /// Simulates the trace until it is exhausted or `max_instructions` have been
     /// committed, and returns the aggregate result.
     ///
@@ -613,6 +642,22 @@ mod tests {
         assert_eq!(r.instructions, 1_500);
         // Well-nested call/return pairs should be predicted almost perfectly.
         assert!(r.branch_mispredictions < 10);
+    }
+
+    #[test]
+    fn drain_cycles_cover_rob_front_end_and_one_memory_round_trip() {
+        let p = baseline_pipeline();
+        // front_end_depth (10) + rob/commit (128/4 = 32) + L2 (20) + memory (255).
+        assert_eq!(p.drain_cycles(), 10 + 32 + 20 + 255);
+        // At low voltage memory is closer in cycles, so the drain bound shrinks.
+        let low = Pipeline::new(
+            CpuConfig::ispass2010(),
+            CacheHierarchy::new(HierarchyConfig::ispass2010(
+                DisablingScheme::Baseline,
+                VoltageMode::Low,
+            )),
+        );
+        assert!(low.drain_cycles() < p.drain_cycles());
     }
 
     #[test]

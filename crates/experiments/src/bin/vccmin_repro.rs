@@ -6,14 +6,18 @@
 //! default (override with `--instructions` and `--pairs`).
 //!
 //! ```text
-//! vccmin-repro <target> [--scheme S] [--instructions N] [--pairs K] [--seed S] [--pfail P] [--csv] [--serial]
+//! vccmin-repro <target> [--scheme S] [--instructions N] [--pairs K] [--seed S] [--pfail P] [--smoke] [--csv] [--serial]
 //!     target: fig1 fig3 fig4 fig5 fig6 fig7 table1 fig8 fig9 fig10 fig11 fig12
 //!             analysis (figs 1,3-7 + table1)   lowvolt (figs 8-10)
 //!             highvolt (figs 11-12)            schemes (repair-scheme matrix)
+//!             governor (runtime voltage-mode governor study)
 //!             all
 //!     --scheme: restrict the `schemes` campaign to one repair scheme
 //!               (baseline | block-disable | word-disable | bit-fix | way-sacrifice);
 //!               implies the `schemes` target when no target is given
+//!     --smoke:  start from the smoke-test campaign scale (4 benchmarks, tiny
+//!               traces) instead of the quick() scale; explicit --instructions /
+//!               --pairs / --seed / --pfail still override it
 //! ```
 //!
 //! Simulation campaigns run on all cores by default (`--serial` forces the
@@ -25,7 +29,7 @@ use std::process::ExitCode;
 use vccmin_experiments::analysis_figures as af;
 use vccmin_experiments::report::FigureTable;
 use vccmin_experiments::simulation::{
-    HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy, SimulationParams,
+    GovernorStudy, HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy, SimulationParams,
 };
 use vccmin_experiments::{OverheadTable, SchemeConfig};
 use vccmin_cache::DisablingScheme;
@@ -47,27 +51,32 @@ fn parse_args() -> Result<Options, String> {
         Some(first) if first == "--scheme" => "schemes".to_string(),
         _ => args.next().ok_or_else(usage)?,
     };
-    let mut params = SimulationParams::quick();
     let mut scheme = None;
     let mut csv = false;
     let mut serial = false;
+    let mut smoke = false;
+    let mut instructions: Option<u64> = None;
+    let mut pairs: Option<usize> = None;
+    let mut seed: Option<u64> = None;
+    let mut pfail: Option<f64> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--instructions" => {
                 let v = args.next().ok_or("--instructions needs a value")?;
-                params.instructions = v.parse().map_err(|e| format!("bad instruction count: {e}"))?;
+                instructions =
+                    Some(v.parse().map_err(|e| format!("bad instruction count: {e}"))?);
             }
             "--pairs" => {
                 let v = args.next().ok_or("--pairs needs a value")?;
-                params.fault_map_pairs = v.parse().map_err(|e| format!("bad pair count: {e}"))?;
+                pairs = Some(v.parse().map_err(|e| format!("bad pair count: {e}"))?);
             }
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
-                params.master_seed = v.parse().map_err(|e| format!("bad seed: {e}"))?;
+                seed = Some(v.parse().map_err(|e| format!("bad seed: {e}"))?);
             }
             "--pfail" => {
                 let v = args.next().ok_or("--pfail needs a value")?;
-                params.pfail = v.parse().map_err(|e| format!("bad pfail: {e}"))?;
+                pfail = Some(v.parse().map_err(|e| format!("bad pfail: {e}"))?);
             }
             "--scheme" => {
                 let v = args.next().ok_or("--scheme needs a value")?;
@@ -81,8 +90,26 @@ fn parse_args() -> Result<Options, String> {
             }
             "--csv" => csv = true,
             "--serial" => serial = true,
+            "--smoke" => smoke = true,
             other => return Err(format!("unknown option {other}\n{}", usage())),
         }
+    }
+    let mut params = if smoke {
+        SimulationParams::smoke()
+    } else {
+        SimulationParams::quick()
+    };
+    if let Some(v) = instructions {
+        params.instructions = v;
+    }
+    if let Some(v) = pairs {
+        params.fault_map_pairs = v;
+    }
+    if let Some(v) = seed {
+        params.master_seed = v;
+    }
+    if let Some(v) = pfail {
+        params.pfail = v;
     }
     if scheme.is_some() && target != "schemes" {
         return Err(format!(
@@ -100,7 +127,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: vccmin-repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|analysis|lowvolt|highvolt|schemes|all> [--scheme baseline|block-disable|word-disable|bit-fix|way-sacrifice] [--instructions N] [--pairs K] [--seed S] [--pfail P] [--csv] [--serial]".to_string()
+    "usage: vccmin-repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|analysis|lowvolt|highvolt|schemes|governor|all> [--scheme baseline|block-disable|word-disable|bit-fix|way-sacrifice] [--instructions N] [--pairs K] [--seed S] [--pfail P] [--smoke] [--csv] [--serial]".to_string()
 }
 
 fn emit(table: &FigureTable, csv: bool) {
@@ -171,7 +198,8 @@ fn run_lowvolt(params: &SimulationParams, csv: bool, serial: bool) {
         vccmin_experiments::SchemeConfig::BlockDisablingVictim10T,
         vccmin_experiments::SchemeConfig::Baseline,
     );
-    println!(
+    // Diagnostics go to stderr so `--csv` stdout stays machine-parseable.
+    eprintln!(
         "summary: avg normalized performance  word={:.1}%  block={:.1}%  block+V$={:.1}%  (block+V$ improves on word by {:.1}%)",
         100.0 * word,
         100.0 * block,
@@ -198,6 +226,42 @@ fn run_schemes(params: &SimulationParams, csv: bool, serial: bool, scheme: Optio
         None => SchemeMatrixStudy::run_parallel(params),
     };
     emit(&study.table(), csv);
+}
+
+fn run_governor(params: &SimulationParams, csv: bool, serial: bool) {
+    eprintln!(
+        "running governor campaign: {} benchmarks x {} policies x {} fault-map pairs x {} instructions ({})",
+        params.benchmarks.len(),
+        vccmin_experiments::GOVERNOR_POLICY_LABELS.len(),
+        params.fault_map_pairs,
+        params.instructions,
+        executor_label(serial),
+    );
+    let study = if serial {
+        GovernorStudy::run(params)
+    } else {
+        GovernorStudy::run_parallel(params)
+    };
+    let table = study.table();
+    emit(&table, csv);
+    let means = table.series_means();
+    let mean_of = |label: &str| -> f64 {
+        table
+            .series_labels
+            .iter()
+            .position(|l| l == label)
+            .map_or(0.0, |i| means[i])
+    };
+    // Diagnostics go to stderr so `--csv` stdout stays machine-parseable.
+    eprintln!(
+        "summary: vs pinned nominal  low: perf={:.1}% energy={:.1}%  interval: perf={:.1}% energy={:.1}%  reactive: perf={:.1}% energy={:.1}%",
+        100.0 * mean_of("low perf"),
+        100.0 * mean_of("low energy"),
+        100.0 * mean_of("interval perf"),
+        100.0 * mean_of("interval energy"),
+        100.0 * mean_of("reactive perf"),
+        100.0 * mean_of("reactive energy"),
+    );
 }
 
 fn run_highvolt(params: &SimulationParams, csv: bool, serial: bool) {
@@ -247,11 +311,13 @@ fn main() -> ExitCode {
         "fig8" | "fig9" | "fig10" | "lowvolt" => run_lowvolt(p, csv, serial),
         "fig11" | "fig12" | "highvolt" => run_highvolt(p, csv, serial),
         "schemes" => run_schemes(p, csv, serial, options.scheme),
+        "governor" => run_governor(p, csv, serial),
         "all" => {
             run_analysis(csv);
             run_lowvolt(p, csv, serial);
             run_highvolt(p, csv, serial);
             run_schemes(p, csv, serial, None);
+            run_governor(p, csv, serial);
         }
         other => {
             eprintln!("unknown target {other}\n{}", usage());

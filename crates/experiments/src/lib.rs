@@ -14,7 +14,12 @@
 //!   mean and minimum normalized performance) plus the
 //!   [`SchemeMatrixStudy`](simulation::SchemeMatrixStudy) that compares every
 //!   repair scheme in the registry — baseline, word-disabling, block-disabling,
-//!   bit-fix and way-sacrifice — through the same executor;
+//!   bit-fix and way-sacrifice — and the [`GovernorStudy`](simulation::GovernorStudy)
+//!   that executes benchmarks under runtime voltage-mode-switching policies;
+//! * [`governor`] — the runtime voltage-mode governor itself: mode-selection
+//!   policies (static schedule, fixed interval, phase-reactive), transition
+//!   costs (pipeline drain + repair-scheme reconfiguration) and the governed
+//!   segment executor with energy/EDP accounting;
 //! * [`report`] — plain-text rendering of series and tables, used by the example
 //!   binaries, the `vccmin-repro` CLI and the benches.
 //!
@@ -36,12 +41,19 @@
 
 pub mod analysis_figures;
 pub mod config;
+pub mod governor;
 pub mod overhead;
 pub mod report;
 pub mod simulation;
 
 pub use config::{SchemeConfig, ALL_LOW_VOLTAGE_SCHEMES};
+pub use governor::{
+    run_governed, GovernedRun, GovernedRunSpec, GovernedSegment, GovernorMetrics, GovernorPolicy,
+    TransitionCostModel,
+};
 pub use overhead::{OverheadRow, OverheadTable};
 pub use simulation::{
-    BenchmarkResult, HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy, SimulationParams,
+    BenchmarkResult, GovernorBenchmarkResult, GovernorPolicyResult, GovernorStudy,
+    HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy, SimulationParams,
+    GOVERNOR_POLICY_LABELS,
 };

@@ -8,14 +8,19 @@
 //! `pfail = 0.001`).
 
 use rayon::prelude::*;
+use vccmin_analysis::voltage::VoltageScalingModel;
 use vccmin_cache::{
     CacheGeometry, CacheHierarchy, DisablingScheme, FaultMap, HierarchyConfig, VoltageMode,
 };
 use vccmin_cpu::{CpuConfig, Pipeline, SimResult};
 use vccmin_fault::SeedSequence;
-use vccmin_workloads::{Benchmark, TraceGenerator};
+use vccmin_workloads::{Benchmark, PhaseSchedule, TraceGenerator};
 
 use crate::config::SchemeConfig;
+use crate::governor::{
+    run_governed, GovernedRun, GovernedRunSpec, GovernorMetrics, GovernorPolicy,
+    TransitionCostModel,
+};
 use crate::report::FigureTable;
 
 /// Parameters of a simulation campaign.
@@ -77,6 +82,20 @@ impl SimulationParams {
             master_seed: 2010,
             benchmarks: Benchmark::all().to_vec(),
         }
+    }
+
+    /// The trace seed every campaign in this module uses for `benchmark`
+    /// (public so equivalence tests can replay the identical stream).
+    #[must_use]
+    pub fn trace_seed(&self, benchmark: Benchmark) -> u64 {
+        trace_seed(self, benchmark)
+    }
+
+    /// The campaign's fault-map pairs (instruction cache, data cache), derived
+    /// from the master seed (public for the same reason).
+    #[must_use]
+    pub fn derived_fault_map_pairs(&self) -> Vec<(FaultMap, FaultMap)> {
+        fault_map_pairs(self)
     }
 }
 
@@ -759,6 +778,325 @@ impl SchemeMatrixStudy {
     }
 }
 
+/// Labels of the governor policies, in study order. The first policy (pinned
+/// nominal) is the normalization reference of the figure table.
+pub const GOVERNOR_POLICY_LABELS: [&str; 4] = ["nominal", "low", "interval", "reactive"];
+
+/// Results of one governor policy on one benchmark: one governed run per
+/// evaluated fault-map pair (a single entry for policies that never leave the
+/// nominal mode).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernorPolicyResult {
+    /// The policy that was simulated.
+    pub policy: GovernorPolicy,
+    /// One governed run per evaluated fault-map pair.
+    pub runs: Vec<GovernedRun>,
+    /// Fault-map pairs skipped because the repair scheme could not repair them
+    /// below Vcc-min (whole-cache failure).
+    pub whole_cache_failures: usize,
+}
+
+impl GovernorPolicyResult {
+    /// Mean normalized metrics over the evaluated fault maps, or `None` when
+    /// no fault map could be evaluated — the explicit empty case, so no NaN
+    /// ever reaches a figure table.
+    #[must_use]
+    pub fn mean_metrics(&self, model: &VoltageScalingModel) -> Option<GovernorMetrics> {
+        if self.runs.is_empty() {
+            return None;
+        }
+        let n = self.runs.len() as f64;
+        let mut acc = GovernorMetrics {
+            time: 0.0,
+            energy: 0.0,
+            edp: 0.0,
+            low_residency: 0.0,
+        };
+        for run in &self.runs {
+            let m = run.metrics(model);
+            acc.time += m.time;
+            acc.energy += m.energy;
+            acc.edp += m.edp;
+            acc.low_residency += m.low_residency;
+        }
+        Some(GovernorMetrics {
+            time: acc.time / n,
+            energy: acc.energy / n,
+            edp: acc.edp / n,
+            low_residency: acc.low_residency / n,
+        })
+    }
+
+    /// Mean number of mode transitions over the evaluated fault maps.
+    #[must_use]
+    pub fn mean_transitions(&self) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(|r| r.transitions as f64).sum::<f64>() / self.runs.len() as f64
+    }
+}
+
+/// All governor-policy results for one benchmark, in
+/// [`GovernorStudy::policies`] order (reference policy first).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernorBenchmarkResult {
+    /// The benchmark.
+    pub benchmark: Benchmark,
+    /// One result per policy.
+    pub policies: Vec<GovernorPolicyResult>,
+}
+
+/// The voltage-mode governor campaign: every benchmark executed under a set of
+/// runtime mode-switching policies (pinned nominal, pinned low, fixed
+/// interval, phase-reactive) on phase-annotated traces, with modeled pipeline
+/// drain + cache-reconfiguration transition costs, reported as performance,
+/// energy and EDP relative to the pinned-nominal reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GovernorStudy {
+    /// Per-benchmark results.
+    pub benchmarks: Vec<GovernorBenchmarkResult>,
+}
+
+/// One unit of parallel governor work.
+#[derive(Debug, Clone, Copy)]
+struct GovernorJob {
+    benchmark: Benchmark,
+    policy_index: usize,
+    /// Fault-map pair to evaluate, or `None` for a mapless (nominal-only) run.
+    pair_index: Option<usize>,
+}
+
+impl GovernorStudy {
+    /// The cache configuration the governor runs on: block-disabling, the
+    /// paper's scheme, whose low-voltage behavior is fault-map dependent.
+    pub const SCHEME: SchemeConfig = SchemeConfig::BlockDisabling;
+
+    /// The governor's decision epoch (and interval-policy segment length) for
+    /// a campaign: an eighth of the run, floored so smoke-scale runs still
+    /// transition.
+    #[must_use]
+    pub fn quantum(params: &SimulationParams) -> u64 {
+        (params.instructions / 8).max(512)
+    }
+
+    /// The workload-phase schedule of a campaign: a compute/memory square wave
+    /// aligned to the governor quantum (three compute quanta, two memory
+    /// quanta), so the reactive policy can act exactly at phase boundaries.
+    #[must_use]
+    pub fn phase_schedule(params: &SimulationParams) -> PhaseSchedule {
+        let q = Self::quantum(params);
+        PhaseSchedule::alternating(3 * q, 2 * q)
+    }
+
+    /// The policies this study evaluates, in [`GOVERNOR_POLICY_LABELS`] order
+    /// with the pinned-nominal reference first.
+    #[must_use]
+    pub fn policies(params: &SimulationParams) -> [GovernorPolicy; 4] {
+        let q = Self::quantum(params);
+        [
+            GovernorPolicy::pinned(VoltageMode::High),
+            GovernorPolicy::pinned(VoltageMode::Low),
+            GovernorPolicy::Interval { nominal: q, low: q },
+            GovernorPolicy::Reactive { quantum: q },
+        ]
+    }
+
+    /// The scaling model used for the study's time/energy accounting: the
+    /// Table III operating points (3 GHz nominal, 600 MHz below Vcc-min),
+    /// consistent with the simulator's per-mode memory latencies.
+    #[must_use]
+    pub fn scaling_model() -> VoltageScalingModel {
+        VoltageScalingModel::ispass2010_operating_points()
+    }
+
+    /// Runs one governed cell: one (benchmark, policy, fault-map pair). Both
+    /// executors run every evaluation through this single function, which is
+    /// what makes their results bit-identical.
+    fn run_cell(
+        params: &SimulationParams,
+        phases: &PhaseSchedule,
+        benchmark: Benchmark,
+        policy: &GovernorPolicy,
+        maps: Option<&(FaultMap, FaultMap)>,
+    ) -> Option<GovernedRun> {
+        run_governed(&GovernedRunSpec {
+            benchmark,
+            scheme: Self::SCHEME,
+            policy,
+            maps,
+            trace_seed: trace_seed(params, benchmark),
+            instructions: params.instructions,
+            phases: Some(phases),
+            cost: TransitionCostModel::Modeled,
+        })
+    }
+
+    /// Whether a policy is evaluated once per fault-map pair.
+    fn policy_map_dependent(policy: &GovernorPolicy) -> bool {
+        policy.uses_low_voltage() && Self::SCHEME.fault_dependent()
+    }
+
+    fn collect(policy: GovernorPolicy, outputs: Vec<Option<GovernedRun>>) -> GovernorPolicyResult {
+        let mut runs = Vec::new();
+        let mut whole_cache_failures = 0;
+        for output in outputs {
+            match output {
+                Some(run) => runs.push(run),
+                None => whole_cache_failures += 1,
+            }
+        }
+        GovernorPolicyResult {
+            policy,
+            runs,
+            whole_cache_failures,
+        }
+    }
+
+    /// Runs the campaign serially. Kept as the reference implementation;
+    /// [`GovernorStudy::run_parallel`] produces bit-identical results faster.
+    #[must_use]
+    pub fn run(params: &SimulationParams) -> Self {
+        let pairs = fault_map_pairs(params);
+        let phases = Self::phase_schedule(params);
+        let benchmarks = params
+            .benchmarks
+            .iter()
+            .map(|&benchmark| GovernorBenchmarkResult {
+                benchmark,
+                policies: Self::policies(params)
+                    .into_iter()
+                    .map(|policy| {
+                        let outputs: Vec<Option<GovernedRun>> =
+                            if Self::policy_map_dependent(&policy) {
+                                pairs
+                                    .iter()
+                                    .map(|pair| {
+                                        Self::run_cell(params, &phases, benchmark, &policy, Some(pair))
+                                    })
+                                    .collect()
+                            } else {
+                                vec![Self::run_cell(params, &phases, benchmark, &policy, None)]
+                            };
+                        Self::collect(policy, outputs)
+                    })
+                    .collect(),
+            })
+            .collect();
+        Self { benchmarks }
+    }
+
+    /// Runs the campaign on all available cores, fanning out over
+    /// benchmark × policy × fault-map pair. Bit-identical to
+    /// [`GovernorStudy::run`]: all randomness derives from the master seed and
+    /// results are reassembled in job order.
+    #[must_use]
+    pub fn run_parallel(params: &SimulationParams) -> Self {
+        let pairs = fault_map_pairs(params);
+        let phases = Self::phase_schedule(params);
+        let policies = Self::policies(params);
+
+        let mut jobs = Vec::new();
+        for &benchmark in &params.benchmarks {
+            for (policy_index, policy) in policies.iter().enumerate() {
+                if Self::policy_map_dependent(policy) {
+                    jobs.extend((0..pairs.len()).map(|pair_index| GovernorJob {
+                        benchmark,
+                        policy_index,
+                        pair_index: Some(pair_index),
+                    }));
+                } else {
+                    jobs.push(GovernorJob {
+                        benchmark,
+                        policy_index,
+                        pair_index: None,
+                    });
+                }
+            }
+        }
+        let outputs: Vec<Option<GovernedRun>> = jobs
+            .into_par_iter()
+            .map(|job| {
+                Self::run_cell(
+                    params,
+                    &phases,
+                    job.benchmark,
+                    &policies[job.policy_index],
+                    job.pair_index.map(|i| &pairs[i]),
+                )
+            })
+            .collect();
+
+        // Reassemble in the same benchmark × policy × pair order the jobs were
+        // emitted in.
+        let mut cursor = outputs.into_iter();
+        let benchmarks = params
+            .benchmarks
+            .iter()
+            .map(|&benchmark| GovernorBenchmarkResult {
+                benchmark,
+                policies: policies
+                    .iter()
+                    .map(|policy| {
+                        let count = if Self::policy_map_dependent(policy) {
+                            pairs.len()
+                        } else {
+                            1
+                        };
+                        let outputs: Vec<Option<GovernedRun>> = (0..count)
+                            .map(|_| {
+                                cursor
+                                    .next()
+                                    .expect("job list and output list stay in sync")
+                            })
+                            .collect();
+                        Self::collect(policy.clone(), outputs)
+                    })
+                    .collect(),
+            })
+            .collect();
+        Self { benchmarks }
+    }
+
+    /// The governor figure table: per benchmark, each non-reference policy's
+    /// relative performance (reference time / policy time), relative energy
+    /// and relative EDP against the pinned-nominal reference. Cells whose
+    /// reference or policy could not be evaluated report 0 — never NaN.
+    #[must_use]
+    pub fn table(&self) -> FigureTable {
+        let model = Self::scaling_model();
+        let mut labels = Vec::new();
+        for label in &GOVERNOR_POLICY_LABELS[1..] {
+            labels.push(format!("{label} perf"));
+            labels.push(format!("{label} energy"));
+            labels.push(format!("{label} EDP"));
+        }
+        let mut table = FigureTable::new(
+            "Governor study: runtime voltage-mode switching vs pinned nominal (block disabling)",
+            "benchmark",
+            labels,
+        );
+        for b in &self.benchmarks {
+            let reference = b.policies.first().and_then(|p| p.mean_metrics(&model));
+            let mut values = Vec::new();
+            for policy in &b.policies[1..] {
+                let metrics = policy.mean_metrics(&model);
+                match (reference, metrics) {
+                    (Some(r), Some(m)) if m.time > 0.0 && r.energy > 0.0 && r.edp > 0.0 => {
+                        values.push(r.time / m.time);
+                        values.push(m.energy / r.energy);
+                        values.push(m.edp / r.edp);
+                    }
+                    _ => values.extend([0.0, 0.0, 0.0]),
+                }
+            }
+            table.push_row(b.benchmark.name(), values);
+        }
+        table
+    }
+
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -785,6 +1123,124 @@ mod tests {
         assert!((r.mean_ipc() - 0.75).abs() < 1e-12);
         assert!((r.min_ipc() - 0.5).abs() < 1e-12);
         assert_eq!(make(&[]).mean_ipc(), 0.0);
+    }
+
+    #[test]
+    fn empty_config_results_yield_zero_statistics_not_nan() {
+        let empty = ConfigResult {
+            scheme: SchemeConfig::WordDisabling,
+            runs: Vec::new(),
+            whole_cache_failures: 3,
+        };
+        assert_eq!(empty.mean_ipc(), 0.0);
+        assert_eq!(empty.min_ipc(), 0.0);
+        assert!(empty.mean_ipc().is_finite() && empty.min_ipc().is_finite());
+    }
+
+    #[test]
+    fn normalization_against_empty_or_missing_configs_is_zero_not_nan() {
+        let run = SimResult {
+            instructions: 100,
+            cycles: 100,
+            loads: 0,
+            stores: 0,
+            conditional_branches: 0,
+            branch_mispredictions: 0,
+            hierarchy: Default::default(),
+        };
+        let b = BenchmarkResult {
+            benchmark: Benchmark::Gzip,
+            configs: vec![
+                ConfigResult {
+                    scheme: SchemeConfig::Baseline,
+                    runs: Vec::new(), // every fault map failed
+                    whole_cache_failures: 5,
+                },
+                ConfigResult {
+                    scheme: SchemeConfig::BlockDisabling,
+                    runs: vec![run],
+                    whole_cache_failures: 0,
+                },
+            ],
+        };
+        // Empty baseline: the ratio is defined as 0, not NaN/inf.
+        for v in [
+            b.normalized_mean(SchemeConfig::BlockDisabling, SchemeConfig::Baseline),
+            b.normalized_min(SchemeConfig::BlockDisabling, SchemeConfig::Baseline),
+            // Empty numerator over a usable baseline.
+            b.normalized_mean(SchemeConfig::Baseline, SchemeConfig::BlockDisabling),
+            b.normalized_min(SchemeConfig::Baseline, SchemeConfig::BlockDisabling),
+            // Configurations that were never simulated at all.
+            b.normalized_mean(SchemeConfig::BitFix, SchemeConfig::BlockDisabling),
+            b.normalized_min(SchemeConfig::BlockDisabling, SchemeConfig::BitFix),
+        ] {
+            assert_eq!(v, 0.0, "degenerate normalization must be exactly 0");
+        }
+        // A study with no benchmarks averages to 0 as well.
+        let study = LowVoltageStudy { benchmarks: Vec::new() };
+        assert_eq!(
+            study.average_normalized(SchemeConfig::BlockDisabling, SchemeConfig::Baseline),
+            0.0
+        );
+    }
+
+    #[test]
+    fn governor_study_parallel_is_bit_identical_to_serial() {
+        let mut params = SimulationParams::smoke();
+        params.benchmarks = vec![Benchmark::Gzip, Benchmark::Mcf];
+        params.instructions = 5_000;
+        let serial = GovernorStudy::run(&params);
+        let parallel = GovernorStudy::run_parallel(&params);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.table(), parallel.table());
+    }
+
+    #[test]
+    fn governor_study_produces_sane_relative_metrics() {
+        let mut params = SimulationParams::smoke();
+        params.benchmarks = vec![Benchmark::Crafty];
+        params.instructions = 8_000;
+        let study = GovernorStudy::run(&params);
+        let table = study.table();
+        assert_eq!(table.rows.len(), 1);
+        assert_eq!(table.series_labels.len(), 9);
+        let b = &study.benchmarks[0];
+        assert_eq!(b.policies.len(), 4);
+        // The nominal reference never leaves high voltage.
+        assert_eq!(b.policies[0].runs.len(), 1);
+        assert_eq!(b.policies[0].mean_transitions(), 0.0);
+        // Low-using policies run once per fault-map pair.
+        for policy in &b.policies[1..] {
+            assert_eq!(
+                policy.runs.len() + policy.whole_cache_failures,
+                params.fault_map_pairs
+            );
+        }
+        // The interval policy transitions; pinned-low does not.
+        assert_eq!(b.policies[1].mean_transitions(), 0.0);
+        assert!(b.policies[2].mean_transitions() >= 1.0);
+        let model = GovernorStudy::scaling_model();
+        let nominal = b.policies[0].mean_metrics(&model).unwrap();
+        let low = b.policies[1].mean_metrics(&model).unwrap();
+        // Pinned-low runs slower but burns far less energy.
+        assert!(low.time > nominal.time);
+        assert!(low.energy < nominal.energy);
+        assert_eq!(low.low_residency, 1.0);
+        assert_eq!(nominal.low_residency, 0.0);
+        for v in &table.rows[0].1 {
+            assert!(v.is_finite() && *v >= 0.0);
+        }
+    }
+
+    #[test]
+    fn governor_policy_result_with_no_runs_reports_none_metrics() {
+        let empty = GovernorPolicyResult {
+            policy: GovernorPolicy::pinned(VoltageMode::Low),
+            runs: Vec::new(),
+            whole_cache_failures: 2,
+        };
+        assert!(empty.mean_metrics(&GovernorStudy::scaling_model()).is_none());
+        assert_eq!(empty.mean_transitions(), 0.0);
     }
 
     #[test]

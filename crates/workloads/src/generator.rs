@@ -5,6 +5,7 @@ use rand::{Rng, SeedableRng};
 
 use vccmin_cpu::{BranchInfo, BranchKind, OpClass, Reg, TraceInstruction};
 
+use crate::phase::{PhaseSchedule, WorkloadPhase};
 use crate::profile::BenchmarkProfile;
 
 /// Base address of the synthetic code region.
@@ -41,7 +42,15 @@ pub struct TraceGenerator {
     next_int_dest: u8,
     next_fp_dest: u8,
     instructions_generated: u64,
+    phases: Option<PhaseSchedule>,
 }
+
+/// During a memory-bound phase the hot-region reuse probability is multiplied
+/// by this factor (most accesses leave the cache-resident region).
+const MEMORY_PHASE_HOT_SCALE: f64 = 0.25;
+/// During a memory-bound phase the streaming probability of non-hot accesses is
+/// raised at least to this value (large-array sweeps dominate).
+const MEMORY_PHASE_STREAMING_FLOOR: f64 = 0.75;
 
 impl TraceGenerator {
     /// Creates a generator for `profile` seeded with `seed`.
@@ -64,13 +73,50 @@ impl TraceGenerator {
             next_int_dest: INT_DEST_REGS.start,
             next_fp_dest: FP_DEST_REGS.start,
             instructions_generated: 0,
+            phases: None,
         }
+    }
+
+    /// Creates a *phase-annotated* generator: the instruction stream walks the
+    /// given cyclic [`PhaseSchedule`], and during
+    /// [`WorkloadPhase::MemoryBound`] segments the profile's memory locality is
+    /// modulated (less hot-region reuse, more streaming) so memory-bound
+    /// stretches genuinely behave memory bound. Compute-bound segments apply
+    /// the profile verbatim, so an all-compute schedule reproduces
+    /// [`TraceGenerator::new`]'s stream exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile does not validate.
+    #[must_use]
+    pub fn with_phases(profile: &BenchmarkProfile, seed: u64, phases: PhaseSchedule) -> Self {
+        let mut generator = Self::new(profile, seed);
+        generator.phases = Some(phases);
+        generator
     }
 
     /// The profile this generator imitates.
     #[must_use]
     pub fn profile(&self) -> &BenchmarkProfile {
         &self.profile
+    }
+
+    /// The phase the *next* generated instruction will belong to. Un-phased
+    /// generators report [`WorkloadPhase::ComputeBound`] (the profile applies
+    /// verbatim). This is the signal a reactive voltage-mode governor samples
+    /// between execution quanta.
+    #[must_use]
+    pub fn current_phase(&self) -> WorkloadPhase {
+        match &self.phases {
+            Some(schedule) => schedule.phase_at(self.instructions_generated),
+            None => WorkloadPhase::ComputeBound,
+        }
+    }
+
+    /// The phase schedule, if this generator is phase annotated.
+    #[must_use]
+    pub fn phases(&self) -> Option<&PhaseSchedule> {
+        self.phases.as_ref()
     }
 
     /// Number of instructions generated so far.
@@ -109,9 +155,23 @@ impl TraceGenerator {
         OpClass::IntAlu
     }
 
-    fn data_address(&mut self) -> u64 {
+    /// The hot-region and streaming probabilities in effect for the next
+    /// access, after phase modulation.
+    fn locality_probabilities(&self) -> (f64, f64) {
         let p = &self.profile;
-        if self.rng.gen_bool(p.hot_access_probability) {
+        match self.current_phase() {
+            WorkloadPhase::ComputeBound => (p.hot_access_probability, p.streaming_probability),
+            WorkloadPhase::MemoryBound => (
+                p.hot_access_probability * MEMORY_PHASE_HOT_SCALE,
+                p.streaming_probability.max(MEMORY_PHASE_STREAMING_FLOOR),
+            ),
+        }
+    }
+
+    fn data_address(&mut self) -> u64 {
+        let (hot_probability, streaming_probability) = self.locality_probabilities();
+        let p = &self.profile;
+        if self.rng.gen_bool(hot_probability) {
             // Hot region: reuse is strongly skewed towards the start of the region
             // (stack frames, hot globals, recently allocated objects), modeled with a
             // truncated exponential over the region. The head of the region is reused
@@ -122,7 +182,7 @@ impl TraceGenerator {
             let hot_words = p.hot_data_bytes / 8;
             let word = ((depth * hot_words as f64) as u64).min(hot_words - 1);
             HOT_BASE + word * 8
-        } else if self.rng.gen_bool(p.streaming_probability) {
+        } else if self.rng.gen_bool(streaming_probability) {
             // Streaming: march through the working set one block at a time.
             self.stream_ptr += 64;
             if self.stream_ptr >= DATA_BASE + p.data_working_set_bytes {
@@ -433,5 +493,64 @@ mod tests {
         let mut g = TraceGenerator::new(&Benchmark::Eon.profile(), 0);
         let _ = (&mut g).take(123).count();
         assert_eq!(g.instructions_generated(), 123);
+    }
+
+    #[test]
+    fn all_compute_phase_schedule_reproduces_the_unphased_stream() {
+        use crate::phase::{PhaseSchedule, WorkloadPhase};
+        let profile = Benchmark::Crafty.profile();
+        let plain: Vec<_> = TraceGenerator::new(&profile, 11).take(20_000).collect();
+        let phased: Vec<_> = TraceGenerator::with_phases(
+            &profile,
+            11,
+            PhaseSchedule::pinned(WorkloadPhase::ComputeBound),
+        )
+        .take(20_000)
+        .collect();
+        assert_eq!(plain, phased, "compute phases must apply the profile verbatim");
+    }
+
+    #[test]
+    fn current_phase_follows_the_schedule() {
+        use crate::phase::{PhaseSchedule, WorkloadPhase};
+        let profile = Benchmark::Gzip.profile();
+        let schedule = PhaseSchedule::alternating(1_000, 500);
+        let mut g = TraceGenerator::with_phases(&profile, 3, schedule);
+        assert_eq!(g.current_phase(), WorkloadPhase::ComputeBound);
+        let _ = (&mut g).take(1_000).count();
+        assert_eq!(g.current_phase(), WorkloadPhase::MemoryBound);
+        let _ = (&mut g).take(500).count();
+        assert_eq!(g.current_phase(), WorkloadPhase::ComputeBound);
+        assert!(g.phases().is_some());
+        assert!(TraceGenerator::new(&profile, 3).phases().is_none());
+    }
+
+    #[test]
+    fn memory_bound_phases_abandon_the_hot_region() {
+        use crate::phase::{PhaseSchedule, WorkloadPhase};
+        let profile = Benchmark::Crafty.profile();
+        let n = 50_000;
+        let hot_fraction = |phase: WorkloadPhase| -> f64 {
+            let accesses: Vec<u64> =
+                TraceGenerator::with_phases(&profile, 5, PhaseSchedule::pinned(phase))
+                    .take(n)
+                    .filter_map(|i| i.mem_addr)
+                    .collect();
+            let hot = accesses
+                .iter()
+                .filter(|&&a| (HOT_BASE..HOT_BASE + profile.hot_data_bytes).contains(&a))
+                .count();
+            hot as f64 / accesses.len() as f64
+        };
+        let compute = hot_fraction(WorkloadPhase::ComputeBound);
+        let memory = hot_fraction(WorkloadPhase::MemoryBound);
+        assert!(
+            (compute - profile.hot_access_probability).abs() < 0.02,
+            "compute phases keep the profile's hot-access rate ({compute})"
+        );
+        assert!(
+            (memory - profile.hot_access_probability * MEMORY_PHASE_HOT_SCALE).abs() < 0.02,
+            "memory phases must mostly leave the hot region ({memory} vs {compute})"
+        );
     }
 }

@@ -31,9 +31,11 @@
 #![warn(missing_docs)]
 
 pub mod generator;
+pub mod phase;
 pub mod profile;
 pub mod profiles;
 
 pub use generator::TraceGenerator;
+pub use phase::{PhaseSchedule, PhaseSegment, WorkloadPhase};
 pub use profile::{BenchmarkProfile, Suite};
 pub use profiles::Benchmark;

@@ -17,13 +17,15 @@
 //! cargo run --release --bin vccmin-repro -- lowvolt  --csv   # figs 8-10
 //! cargo run --release --bin vccmin-repro -- highvolt --csv   # figs 11-12
 //! cargo run --release --bin vccmin-repro -- schemes  --csv   # scheme matrix
+//! cargo run --release --bin vccmin-repro -- governor --csv   # governor study
 //! ```
 //!
 //! and split the output into one file per table (28 lines each: header, 26
-//! benchmarks, mean) — then say so loudly in the commit message.
+//! benchmarks, mean; summary lines go to stderr and never pollute the CSV) —
+//! then say so loudly in the commit message.
 
 use vccmin_core::experiments::simulation::{
-    HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy, SimulationParams,
+    GovernorStudy, HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy, SimulationParams,
 };
 
 const FIG8: &str = include_str!("../golden/fig8.csv");
@@ -32,6 +34,7 @@ const FIG10: &str = include_str!("../golden/fig10.csv");
 const FIG11: &str = include_str!("../golden/fig11.csv");
 const FIG12: &str = include_str!("../golden/fig12.csv");
 const SCHEME_MATRIX: &str = include_str!("../golden/scheme_matrix.csv");
+const GOVERNOR: &str = include_str!("../golden/governor.csv");
 
 fn assert_matches_golden(actual: &str, golden: &str, figure: &str) {
     assert_eq!(
@@ -63,6 +66,12 @@ fn quick_scale_scheme_matrix_matches_its_snapshot() {
 }
 
 #[test]
+fn quick_scale_governor_study_matches_its_snapshot() {
+    let study = GovernorStudy::run_parallel(&SimulationParams::quick());
+    assert_matches_golden(&study.table().to_csv(), GOVERNOR, "governor study");
+}
+
+#[test]
 fn golden_snapshots_have_the_expected_shape() {
     // A cheap structural guard so a bad regeneration (wrong split, truncated
     // file) fails fast with a clear message instead of a huge diff.
@@ -73,6 +82,7 @@ fn golden_snapshots_have_the_expected_shape() {
         ("fig11", FIG11, 3),
         ("fig12", FIG12, 2),
         ("scheme_matrix", SCHEME_MATRIX, 8),
+        ("governor", GOVERNOR, 9),
     ] {
         let lines: Vec<&str> = golden.lines().collect();
         assert_eq!(lines.len(), 28, "{name}: header + 26 benchmarks + mean");

@@ -5,7 +5,9 @@
 //! test-suite friendly; the fan-out shape (benchmark × configuration ×
 //! fault-map pair) is exactly the `quick()` one.
 
-use vccmin_core::experiments::simulation::{HighVoltageStudy, LowVoltageStudy, SimulationParams};
+use vccmin_core::experiments::simulation::{
+    GovernorStudy, HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy, SimulationParams,
+};
 
 // On single-CPU machines the parallel executor degenerates to one worker; CI
 // exports RAYON_NUM_THREADS=4 (read at pool setup by both the vendored shim
@@ -56,6 +58,33 @@ fn parallel_high_voltage_study_is_bit_identical_to_serial_at_quick_scale() {
         assert_eq!(s.to_string(), p.to_string());
         assert_eq!(s.to_csv(), p.to_csv());
     }
+}
+
+#[test]
+fn parallel_scheme_matrix_study_is_bit_identical_to_serial_at_quick_scale() {
+    let params = quick_scale_params();
+    let serial = SchemeMatrixStudy::run(&params);
+    let parallel = SchemeMatrixStudy::run_parallel(&params);
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.schemes(), parallel.schemes());
+    let (s, p) = (serial.table(), parallel.table());
+    assert_eq!(s, p);
+    assert_eq!(s.to_string(), p.to_string());
+    assert_eq!(s.to_csv(), p.to_csv());
+}
+
+#[test]
+fn parallel_governor_study_is_bit_identical_to_serial_at_quick_scale() {
+    let params = quick_scale_params();
+    let serial = GovernorStudy::run(&params);
+    let parallel = GovernorStudy::run_parallel(&params);
+    // Structural equality of every governed segment of every fault-map pair…
+    assert_eq!(serial, parallel);
+    // …and byte-identical rendered figure tables.
+    let (s, p) = (serial.table(), parallel.table());
+    assert_eq!(s, p);
+    assert_eq!(s.to_string(), p.to_string());
+    assert_eq!(s.to_csv(), p.to_csv());
 }
 
 #[test]
