@@ -25,6 +25,9 @@
 //!   the worst way of every set — [`way_sacrifice`];
 //! * the illustrative voltage/power/performance scaling curves of Fig. 1 —
 //!   [`voltage`];
+//! * the calibrated `pfail(V)` bridge between supply voltage and per-cell
+//!   failure probability, plus closed-form i.i.d. die capacity/yield —
+//!   [`yield_model`];
 //! * a closed-form time/energy/EDP model of a runtime voltage-mode governor
 //!   that alternates between nominal and below-Vcc-min execution —
 //!   [`governor`];
@@ -58,6 +61,7 @@ pub mod victim;
 pub mod voltage;
 pub mod way_sacrifice;
 pub mod word_disable;
+pub mod yield_model;
 
 pub use error::AnalysisError;
 pub use geometry::ArrayGeometry;

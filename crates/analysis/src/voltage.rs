@@ -57,6 +57,19 @@ pub struct VoltageScalingModel {
     pub low_voltage_perf_penalty: f64,
 }
 
+/// Maps an arbitrary `f64` onto the normalized frequency axis `[0, 1]`:
+/// values beyond the curve boundaries clamp to the nearest endpoint and NaN
+/// (which would otherwise leak through `f64::clamp` and poison every derived
+/// quantity) is treated as the lowest operating point. Every public curve
+/// query goes through this, so none of them can panic or return NaN.
+fn normalized_frequency(f: f64) -> f64 {
+    if f.is_nan() {
+        0.0
+    } else {
+        f.clamp(0.0, 1.0)
+    }
+}
+
 impl VoltageScalingModel {
     /// A representative model matching the proportions of Fig. 1: Vcc-min at 70% of
     /// nominal voltage / frequency, a low-voltage floor at 50%, and an 8% IPC penalty
@@ -95,7 +108,7 @@ impl VoltageScalingModel {
     /// voltage tracks frequency down to Vcc-min and is pinned there below it.
     #[must_use]
     pub fn classic_voltage(&self, frequency: f64) -> f64 {
-        let f = frequency.clamp(0.0, 1.0);
+        let f = normalized_frequency(frequency);
         if f >= self.vccmin_frequency {
             f
         } else {
@@ -108,7 +121,7 @@ impl VoltageScalingModel {
     /// floor.
     #[must_use]
     pub fn below_vccmin_voltage(&self, frequency: f64) -> f64 {
-        let f = frequency.clamp(0.0, 1.0);
+        let f = normalized_frequency(frequency);
         if f >= self.low_voltage_frequency {
             f.max(self.low_voltage_floor)
         } else {
@@ -119,7 +132,7 @@ impl VoltageScalingModel {
     /// Operating region for a normalized frequency in the below-Vcc-min regime.
     #[must_use]
     pub fn region(&self, frequency: f64) -> OperatingRegion {
-        let f = frequency.clamp(0.0, 1.0);
+        let f = normalized_frequency(frequency);
         if f >= self.vccmin_frequency {
             OperatingRegion::Cubic
         } else if f >= self.low_voltage_frequency {
@@ -154,7 +167,7 @@ impl VoltageScalingModel {
     /// (`governor::normalized_time` / `governor::normalized_energy`).
     #[must_use]
     pub fn point_at(&self, frequency: f64) -> ScalingPoint {
-        let f = frequency.clamp(0.0, 1.0);
+        let f = normalized_frequency(frequency);
         let v = self.below_vccmin_voltage(f);
         let perf = match self.region(f) {
             OperatingRegion::Cubic => f,
@@ -279,6 +292,68 @@ mod tests {
         assert!((low.power - 0.05).abs() < 1e-12, "V^2 F = 0.25 * 0.2");
         assert!(low.performance < low.frequency);
         assert_eq!(m.point_at(1.0).power, 1.0);
+    }
+
+    #[test]
+    fn queries_clamp_beyond_curve_boundaries() {
+        let m = VoltageScalingModel::paper_illustration();
+        // Beyond the top of the curve everything behaves like the nominal point.
+        assert_eq!(m.point_at(1.7), m.point_at(1.0));
+        assert_eq!(m.region(42.0), OperatingRegion::Cubic);
+        assert_eq!(m.classic_voltage(2.0), 1.0);
+        assert_eq!(m.below_vccmin_voltage(f64::INFINITY), 1.0);
+        // Below the bottom everything behaves like a full stop.
+        assert_eq!(m.point_at(-3.0), m.point_at(0.0));
+        assert_eq!(m.region(-1.0), OperatingRegion::Linear);
+        assert_eq!(m.classic_voltage(f64::NEG_INFINITY), m.vccmin_voltage);
+        assert_eq!(m.below_vccmin_voltage(-0.5), m.low_voltage_floor);
+    }
+
+    #[test]
+    fn nan_frequency_is_treated_as_the_lowest_operating_point_not_propagated() {
+        let m = VoltageScalingModel::paper_illustration();
+        assert_eq!(m.point_at(f64::NAN), m.point_at(0.0));
+        assert_eq!(m.region(f64::NAN), OperatingRegion::Linear);
+        assert_eq!(m.classic_voltage(f64::NAN), m.vccmin_voltage);
+        assert_eq!(m.below_vccmin_voltage(f64::NAN), m.low_voltage_floor);
+        let p = m.point_at(f64::NAN);
+        assert!(p.frequency == 0.0 && p.power == 0.0 && p.performance == 0.0);
+        assert!(p.voltage.is_finite());
+    }
+
+    #[test]
+    fn exact_boundary_frequencies_belong_to_the_upper_region() {
+        let m = VoltageScalingModel::paper_illustration();
+        assert_eq!(m.region(m.vccmin_frequency), OperatingRegion::Cubic);
+        assert_eq!(m.region(m.low_voltage_frequency), OperatingRegion::LowVoltage);
+        assert_eq!(m.classic_voltage(m.vccmin_frequency), m.vccmin_voltage);
+        assert_eq!(
+            m.below_vccmin_voltage(m.low_voltage_frequency),
+            m.low_voltage_floor
+        );
+        assert_eq!(m.point_at(1.0).voltage, 1.0);
+        assert_eq!(m.point_at(0.0).power, 0.0);
+    }
+
+    #[test]
+    fn degenerate_zero_width_low_voltage_region_does_not_divide_by_zero() {
+        // A model whose Vcc-min and floor coincide has an empty LowVoltage span;
+        // the penalty interpolation must not produce NaN.
+        let m = VoltageScalingModel {
+            vccmin_frequency: 0.5,
+            vccmin_voltage: 0.5,
+            low_voltage_frequency: 0.5,
+            low_voltage_floor: 0.5,
+            low_voltage_perf_penalty: 0.1,
+        };
+        for f in [0.0, 0.25, 0.5, 0.75, 1.0, -1.0, 2.0, f64::NAN] {
+            let p = m.point_at(f);
+            assert!(p.performance.is_finite() && p.voltage.is_finite() && p.power.is_finite());
+        }
+        // The boundary belongs to the Cubic region; just below it the Linear
+        // region's full penalty applies (the empty LowVoltage span never ramps).
+        assert_eq!(m.point_at(0.5).performance, 0.5);
+        assert!((m.point_at(0.4).performance - 0.4 * (1.0 - 0.1)).abs() < 1e-12);
     }
 
     #[test]

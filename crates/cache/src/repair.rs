@@ -204,6 +204,18 @@ pub trait RepairScheme: std::fmt::Debug + Send + Sync {
     /// Closed-form expected capacity at low voltage (the analytical models of
     /// `vccmin-analysis`), as a fraction of the fault-free cache.
     fn expected_capacity(&self, geometry: &CacheGeometry, pfail: f64) -> f64;
+
+    /// Whether this scheme keeps a concrete die operational under `map`: the
+    /// map is repairable at all *and* the surviving capacity is at least
+    /// `min_capacity_fraction` of the fault-free cache. This is the per-die
+    /// pass criterion of the yield studies; because adding faults never
+    /// increases any scheme's capacity, the answer is monotone in the fault
+    /// map (a die operational under a fault superset is operational under
+    /// every subset).
+    fn meets_capacity_floor(&self, map: &FaultMap, min_capacity_fraction: f64) -> bool {
+        self.effective_capacity(map)
+            .is_ok_and(|c| c >= min_capacity_fraction)
+    }
 }
 
 /// No repair at all: an idealized cache that is assumed fault free at any
@@ -688,6 +700,31 @@ mod tests {
         for scheme in registry() {
             assert!(scheme.reconfiguration_cycles(&l2) >= scheme.reconfiguration_cycles(&geom));
         }
+    }
+
+    #[test]
+    fn capacity_floor_criterion_matches_effective_capacity() {
+        let clean = FaultMap::fault_free(&l1());
+        let dirty = FaultMap::generate(&l1(), 0.003, 21);
+        let hopeless = FaultMap::generate(&l1(), 0.2, 3);
+        for scheme in registry() {
+            // A zero floor only requires repairability.
+            assert_eq!(
+                scheme.meets_capacity_floor(&dirty, 0.0),
+                scheme.effective_capacity(&dirty).is_ok()
+            );
+            // The floor is compared against the actual surviving fraction.
+            if let Ok(cap) = scheme.effective_capacity(&dirty) {
+                assert!(scheme.meets_capacity_floor(&dirty, cap));
+                assert!(!scheme.meets_capacity_floor(&dirty, cap + 1e-9));
+            }
+        }
+        // Word-disabling's halved cache sits exactly on a 0.5 floor when usable
+        // and fails every floor when the map is a whole-cache failure.
+        assert!(WordDisablingScheme.meets_capacity_floor(&clean, 0.5));
+        assert!(!WordDisablingScheme.meets_capacity_floor(&hopeless, 0.0));
+        // The idealized baseline always passes.
+        assert!(BaselineScheme.meets_capacity_floor(&hopeless, 1.0));
     }
 
     #[test]

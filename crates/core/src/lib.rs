@@ -83,9 +83,9 @@ pub use vccmin_cpu::{CpuConfig, Pipeline, SimResult};
 pub use vccmin_cache::{RepairScheme, WayDisableMask};
 pub use vccmin_experiments::{
     GovernedRun, GovernorPolicy, GovernorStudy, LowVoltageStudy, OverheadTable, SchemeConfig,
-    SchemeMatrixStudy, SimulationParams, TransitionCostModel,
+    SchemeMatrixStudy, SimulationParams, TransitionCostModel, YieldParams, YieldStudy,
 };
-pub use vccmin_fault::{CacheGeometry, FaultMap};
+pub use vccmin_fault::{CacheGeometry, DieVariation, FaultMap, PfailVoltageModel, VariationModel};
 pub use vccmin_workloads::{Benchmark, PhaseSchedule, TraceGenerator, WorkloadPhase};
 
 #[cfg(test)]

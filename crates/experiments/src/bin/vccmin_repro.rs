@@ -6,24 +6,31 @@
 //! default (override with `--instructions` and `--pairs`).
 //!
 //! ```text
-//! vccmin-repro <target> [--scheme S] [--instructions N] [--pairs K] [--seed S] [--pfail P] [--smoke] [--csv] [--serial]
+//! vccmin-repro <target> [--scheme S] [--instructions N] [--pairs K] [--dies D] [--seed S] [--pfail P] [--smoke] [--csv] [--serial] [--out PATH]
 //!     target: fig1 fig3 fig4 fig5 fig6 fig7 table1 fig8 fig9 fig10 fig11 fig12
 //!             analysis (figs 1,3-7 + table1)   lowvolt (figs 8-10)
 //!             highvolt (figs 11-12)            schemes (repair-scheme matrix)
 //!             governor (runtime voltage-mode governor study)
+//!             yield (die-population process-variation yield study)
 //!             all
 //!     --scheme: restrict the `schemes` campaign to one repair scheme
 //!               (baseline | block-disable | word-disable | bit-fix | way-sacrifice);
 //!               implies the `schemes` target when no target is given
+//!     --dies:   die population size of the `yield` study
 //!     --smoke:  start from the smoke-test campaign scale (4 benchmarks, tiny
-//!               traces) instead of the quick() scale; explicit --instructions /
-//!               --pairs / --seed / --pfail still override it
+//!               traces; 24 dies for `yield`) instead of the quick() scale;
+//!               explicit --instructions / --pairs / --dies / --seed / --pfail
+//!               still override it
+//!     --out:    write the emitted tables/CSV to a file instead of stdout
+//!               (progress and summaries stay on stderr either way)
 //! ```
 //!
 //! Simulation campaigns run on all cores by default (`--serial` forces the
 //! reference single-threaded executor; both produce bit-identical output).
 
 use std::env;
+use std::fs::File;
+use std::io::Write;
 use std::process::ExitCode;
 
 use vccmin_experiments::analysis_figures as af;
@@ -31,15 +38,18 @@ use vccmin_experiments::report::FigureTable;
 use vccmin_experiments::simulation::{
     GovernorStudy, HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy, SimulationParams,
 };
+use vccmin_experiments::yield_study::{YieldParams, YieldStudy};
 use vccmin_experiments::{OverheadTable, SchemeConfig};
 use vccmin_cache::DisablingScheme;
 
 struct Options {
     target: String,
     params: SimulationParams,
+    yield_params: YieldParams,
     scheme: Option<SchemeConfig>,
     csv: bool,
     serial: bool,
+    out: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -57,8 +67,10 @@ fn parse_args() -> Result<Options, String> {
     let mut smoke = false;
     let mut instructions: Option<u64> = None;
     let mut pairs: Option<usize> = None;
+    let mut dies: Option<usize> = None;
     let mut seed: Option<u64> = None;
     let mut pfail: Option<f64> = None;
+    let mut out: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--instructions" => {
@@ -69,6 +81,13 @@ fn parse_args() -> Result<Options, String> {
             "--pairs" => {
                 let v = args.next().ok_or("--pairs needs a value")?;
                 pairs = Some(v.parse().map_err(|e| format!("bad pair count: {e}"))?);
+            }
+            "--dies" => {
+                let v = args.next().ok_or("--dies needs a value")?;
+                dies = Some(v.parse().map_err(|e| format!("bad die count: {e}"))?);
+            }
+            "--out" => {
+                out = Some(args.next().ok_or("--out needs a path")?);
             }
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
@@ -111,66 +130,91 @@ fn parse_args() -> Result<Options, String> {
     if let Some(v) = pfail {
         params.pfail = v;
     }
+    let mut yield_params = if smoke {
+        YieldParams::smoke()
+    } else {
+        YieldParams::quick()
+    };
+    if let Some(v) = dies {
+        yield_params.dies = v;
+    }
+    if let Some(v) = seed {
+        yield_params.master_seed = v;
+    }
     if scheme.is_some() && target != "schemes" {
         return Err(format!(
             "--scheme only applies to the `schemes` target\n{}",
             usage()
         ));
     }
+    if dies.is_some() && target != "yield" && target != "all" {
+        return Err(format!(
+            "--dies only applies to the `yield` (or `all`) target\n{}",
+            usage()
+        ));
+    }
     Ok(Options {
         target,
         params,
+        yield_params,
         scheme,
         csv,
         serial,
+        out,
     })
 }
 
 fn usage() -> String {
-    "usage: vccmin-repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|analysis|lowvolt|highvolt|schemes|governor|all> [--scheme baseline|block-disable|word-disable|bit-fix|way-sacrifice] [--instructions N] [--pairs K] [--seed S] [--pfail P] [--smoke] [--csv] [--serial]".to_string()
+    "usage: vccmin-repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|analysis|lowvolt|highvolt|schemes|governor|yield|all> [--scheme baseline|block-disable|word-disable|bit-fix|way-sacrifice] [--instructions N] [--pairs K] [--dies D] [--seed S] [--pfail P] [--smoke] [--csv] [--serial] [--out PATH]".to_string()
 }
 
-fn emit(table: &FigureTable, csv: bool) {
-    if csv {
-        print!("{}", table.to_csv());
+fn emit(out: &mut dyn Write, table: &FigureTable, csv: bool) {
+    let result = if csv {
+        write!(out, "{}", table.to_csv())
     } else {
-        println!("{table}");
-    }
+        writeln!(out, "{table}")
+    };
+    result.expect("failed to write output");
 }
 
-fn print_table1() {
+fn print_table1(out: &mut dyn Write) {
     let table = OverheadTable::ispass2010();
-    println!("Table I: overhead comparison of the disabling schemes");
-    println!(
-        "{:<24} {:>12} {:>12} {:>12} {:>10} {:>12}",
-        "scheme", "tag", "disable", "victim $", "align net", "total"
-    );
-    for row in table.rows() {
-        println!(
+    let mut render = || -> std::io::Result<()> {
+        writeln!(out, "Table I: overhead comparison of the disabling schemes")?;
+        writeln!(
+            out,
             "{:<24} {:>12} {:>12} {:>12} {:>10} {:>12}",
-            row.scheme,
-            row.tag_transistors,
-            row.disable_transistors,
-            row.victim_transistors,
-            if row.alignment_network { "yes" } else { "no" },
-            row.total_transistors
-        );
-    }
-    println!();
+            "scheme", "tag", "disable", "victim $", "align net", "total"
+        )?;
+        for row in table.rows() {
+            writeln!(
+                out,
+                "{:<24} {:>12} {:>12} {:>12} {:>10} {:>12}",
+                row.scheme,
+                row.tag_transistors,
+                row.disable_transistors,
+                row.victim_transistors,
+                if row.alignment_network { "yes" } else { "no" },
+                row.total_transistors
+            )?;
+        }
+        writeln!(out)
+    };
+    render().expect("failed to write output");
 }
 
-fn run_analysis(csv: bool) {
-    emit(&af::figure1(af::DEFAULT_STEPS), csv);
-    emit(&af::figure3(af::DEFAULT_STEPS), csv);
-    emit(&af::figure4(), csv);
-    emit(&af::figure5(af::DEFAULT_STEPS), csv);
-    emit(&af::figure6(af::DEFAULT_STEPS), csv);
-    emit(&af::figure7(af::DEFAULT_STEPS), csv);
-    emit(&af::scheme_capacity_figure(af::DEFAULT_STEPS), csv);
-    print_table1();
+fn run_analysis(out: &mut dyn Write, csv: bool) {
+    emit(out, &af::figure1(af::DEFAULT_STEPS), csv);
+    emit(out, &af::figure3(af::DEFAULT_STEPS), csv);
+    emit(out, &af::figure4(), csv);
+    emit(out, &af::figure5(af::DEFAULT_STEPS), csv);
+    emit(out, &af::figure6(af::DEFAULT_STEPS), csv);
+    emit(out, &af::figure7(af::DEFAULT_STEPS), csv);
+    emit(out, &af::scheme_capacity_figure(af::DEFAULT_STEPS), csv);
+    print_table1(out);
 }
 
-fn run_lowvolt(params: &SimulationParams, csv: bool, serial: bool) {
+fn run_lowvolt(out: &mut dyn Write, params: &SimulationParams, csv: bool, serial: bool) {
     eprintln!(
         "running low-voltage campaign: {} benchmarks x {} fault-map pairs x {} instructions ({})",
         params.benchmarks.len(),
@@ -183,9 +227,9 @@ fn run_lowvolt(params: &SimulationParams, csv: bool, serial: bool) {
     } else {
         LowVoltageStudy::run_parallel(params)
     };
-    emit(&study.figure8(), csv);
-    emit(&study.figure9(), csv);
-    emit(&study.figure10(), csv);
+    emit(out, &study.figure8(), csv);
+    emit(out, &study.figure9(), csv);
+    emit(out, &study.figure10(), csv);
     let word = study.average_normalized(
         vccmin_experiments::SchemeConfig::WordDisabling,
         vccmin_experiments::SchemeConfig::Baseline,
@@ -208,7 +252,13 @@ fn run_lowvolt(params: &SimulationParams, csv: bool, serial: bool) {
     );
 }
 
-fn run_schemes(params: &SimulationParams, csv: bool, serial: bool, scheme: Option<SchemeConfig>) {
+fn run_schemes(
+    out: &mut dyn Write,
+    params: &SimulationParams,
+    csv: bool,
+    serial: bool,
+    scheme: Option<SchemeConfig>,
+) {
     let described = match scheme {
         Some(s) => format!("scheme {}", s.scheme().name()),
         None => "full scheme matrix".to_string(),
@@ -225,10 +275,10 @@ fn run_schemes(params: &SimulationParams, csv: bool, serial: bool, scheme: Optio
         None if serial => SchemeMatrixStudy::run(params),
         None => SchemeMatrixStudy::run_parallel(params),
     };
-    emit(&study.table(), csv);
+    emit(out, &study.table(), csv);
 }
 
-fn run_governor(params: &SimulationParams, csv: bool, serial: bool) {
+fn run_governor(out: &mut dyn Write, params: &SimulationParams, csv: bool, serial: bool) {
     eprintln!(
         "running governor campaign: {} benchmarks x {} policies x {} fault-map pairs x {} instructions ({})",
         params.benchmarks.len(),
@@ -243,7 +293,7 @@ fn run_governor(params: &SimulationParams, csv: bool, serial: bool) {
         GovernorStudy::run_parallel(params)
     };
     let table = study.table();
-    emit(&table, csv);
+    emit(out, &table, csv);
     let means = table.series_means();
     let mean_of = |label: &str| -> f64 {
         table
@@ -264,7 +314,7 @@ fn run_governor(params: &SimulationParams, csv: bool, serial: bool) {
     );
 }
 
-fn run_highvolt(params: &SimulationParams, csv: bool, serial: bool) {
+fn run_highvolt(out: &mut dyn Write, params: &SimulationParams, csv: bool, serial: bool) {
     eprintln!(
         "running high-voltage campaign: {} benchmarks x {} instructions ({})",
         params.benchmarks.len(),
@@ -276,8 +326,38 @@ fn run_highvolt(params: &SimulationParams, csv: bool, serial: bool) {
     } else {
         HighVoltageStudy::run_parallel(params)
     };
-    emit(&study.figure11(), csv);
-    emit(&study.figure12(), csv);
+    emit(out, &study.figure11(), csv);
+    emit(out, &study.figure12(), csv);
+}
+
+fn run_yield(out: &mut dyn Write, params: &YieldParams, csv: bool, serial: bool) {
+    eprintln!(
+        "running yield study: {} dies x {} grid voltages ({:.3} down to {:.3}), capacity floor {:.0}% ({})",
+        params.dies,
+        params.steps,
+        params.v_high,
+        params.v_low,
+        100.0 * params.min_capacity,
+        executor_label(serial),
+    );
+    let study = if serial {
+        YieldStudy::run(params)
+    } else {
+        YieldStudy::run_parallel(params)
+    };
+    let summary = study.vccmin_summary();
+    emit(out, &study.yield_curve(), csv);
+    emit(out, &summary, csv);
+    // Diagnostics go to stderr so `--csv` stdout stays machine-parseable.
+    for (scheme, values) in &summary.rows {
+        eprintln!(
+            "summary: {scheme:<24} mean Vcc-min {:.3}  best {:.3}  worst {:.3}  dead {:.1}%",
+            values[0],
+            values[1],
+            values[2],
+            100.0 * values[3]
+        );
+    }
 }
 
 fn executor_label(serial: bool) -> String {
@@ -299,30 +379,44 @@ fn main() -> ExitCode {
     let p = &options.params;
     let csv = options.csv;
     let serial = options.serial;
+    let mut sink: Box<dyn Write> = match &options.out {
+        Some(path) => match File::create(path) {
+            Ok(file) => Box::new(std::io::BufWriter::new(file)),
+            Err(e) => {
+                eprintln!("cannot open --out {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => Box::new(std::io::stdout()),
+    };
+    let out = sink.as_mut();
     match options.target.as_str() {
-        "fig1" => emit(&af::figure1(af::DEFAULT_STEPS), csv),
-        "fig3" => emit(&af::figure3(af::DEFAULT_STEPS), csv),
-        "fig4" => emit(&af::figure4(), csv),
-        "fig5" => emit(&af::figure5(af::DEFAULT_STEPS), csv),
-        "fig6" => emit(&af::figure6(af::DEFAULT_STEPS), csv),
-        "fig7" => emit(&af::figure7(af::DEFAULT_STEPS), csv),
-        "table1" => print_table1(),
-        "analysis" => run_analysis(csv),
-        "fig8" | "fig9" | "fig10" | "lowvolt" => run_lowvolt(p, csv, serial),
-        "fig11" | "fig12" | "highvolt" => run_highvolt(p, csv, serial),
-        "schemes" => run_schemes(p, csv, serial, options.scheme),
-        "governor" => run_governor(p, csv, serial),
+        "fig1" => emit(out, &af::figure1(af::DEFAULT_STEPS), csv),
+        "fig3" => emit(out, &af::figure3(af::DEFAULT_STEPS), csv),
+        "fig4" => emit(out, &af::figure4(), csv),
+        "fig5" => emit(out, &af::figure5(af::DEFAULT_STEPS), csv),
+        "fig6" => emit(out, &af::figure6(af::DEFAULT_STEPS), csv),
+        "fig7" => emit(out, &af::figure7(af::DEFAULT_STEPS), csv),
+        "table1" => print_table1(out),
+        "analysis" => run_analysis(out, csv),
+        "fig8" | "fig9" | "fig10" | "lowvolt" => run_lowvolt(out, p, csv, serial),
+        "fig11" | "fig12" | "highvolt" => run_highvolt(out, p, csv, serial),
+        "schemes" => run_schemes(out, p, csv, serial, options.scheme),
+        "governor" => run_governor(out, p, csv, serial),
+        "yield" => run_yield(out, &options.yield_params, csv, serial),
         "all" => {
-            run_analysis(csv);
-            run_lowvolt(p, csv, serial);
-            run_highvolt(p, csv, serial);
-            run_schemes(p, csv, serial, None);
-            run_governor(p, csv, serial);
+            run_analysis(out, csv);
+            run_lowvolt(out, p, csv, serial);
+            run_highvolt(out, p, csv, serial);
+            run_schemes(out, p, csv, serial, None);
+            run_governor(out, p, csv, serial);
+            run_yield(out, &options.yield_params, csv, serial);
         }
         other => {
             eprintln!("unknown target {other}\n{}", usage());
             return ExitCode::FAILURE;
         }
     }
+    sink.flush().expect("failed to flush output");
     ExitCode::SUCCESS
 }

@@ -20,6 +20,10 @@
 //!   policies (static schedule, fixed interval, phase-reactive), transition
 //!   costs (pipeline drain + repair-scheme reconfiguration) and the governed
 //!   segment executor with energy/EDP accounting;
+//! * [`yield_study`] — the die-population yield campaign: process-variation
+//!   dies sampled from the `vccmin-fault` variation model, each die's minimum
+//!   operational voltage computed per repair scheme, reported as Vcc-min
+//!   distributions and yield-vs-voltage curves;
 //! * [`report`] — plain-text rendering of series and tables, used by the example
 //!   binaries, the `vccmin-repro` CLI and the benches.
 //!
@@ -45,6 +49,7 @@ pub mod governor;
 pub mod overhead;
 pub mod report;
 pub mod simulation;
+pub mod yield_study;
 
 pub use config::{SchemeConfig, ALL_LOW_VOLTAGE_SCHEMES};
 pub use governor::{
@@ -57,3 +62,4 @@ pub use simulation::{
     HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy, SimulationParams,
     GOVERNOR_POLICY_LABELS,
 };
+pub use yield_study::{DieResult, YieldParams, YieldStudy};

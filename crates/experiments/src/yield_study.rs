@@ -1,0 +1,463 @@
+//! The die-population yield campaign: "at what voltage can each die run, and
+//! what fraction of dies meets a target Vcc-min under each repair scheme?"
+//!
+//! The paper evaluates its schemes at a handful of fixed `pfail` points; this
+//! study asks the designer's actual question. It samples a population of dies
+//! from the process-variation model of `vccmin-fault` (spatially-correlated
+//! systematic Vcc-min offsets plus the calibrated `pfail(V)` random
+//! component), generates each die's fault map at every voltage of a grid, and
+//! computes — per repair scheme in the [`vccmin_cache::repair::registry`] —
+//! the die's *minimum operational voltage*: the lowest supply at which the
+//! scheme can still repair the map and retain at least
+//! [`YieldParams::min_capacity`] of the cache.
+//!
+//! Two structural invariants make the study well posed:
+//!
+//! * per die and seed, fault maps are **nested across voltages**
+//!   ([`FaultMap::generate_at_voltage`]), and no scheme gains capacity from
+//!   extra faults, so a die's operational range is a contiguous voltage
+//!   interval and every yield curve is monotone non-increasing as the supply
+//!   drops;
+//! * all randomness derives from [`YieldParams::master_seed`] through
+//!   [`SeedSequence`], and each die is an independent unit of work, so
+//!   [`YieldStudy::run`] and [`YieldStudy::run_parallel`] are bit-identical.
+//!
+//! In the i.i.d. limit (zero systematic variance) the Monte-Carlo yield
+//! converges to the closed forms of `vccmin_analysis::yield_model`; the
+//! workspace integration tests cross-validate the two.
+
+use rayon::prelude::*;
+use vccmin_cache::repair::registry;
+use vccmin_fault::{CacheGeometry, DieVariation, FaultMap, SeedSequence, VariationModel};
+
+use crate::report::FigureTable;
+
+/// Parameters of a yield campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldParams {
+    /// Number of dies in the sampled population.
+    pub dies: usize,
+    /// The process-variation model dies are sampled from.
+    pub variation: VariationModel,
+    /// Top of the voltage grid (normalized; inclusive).
+    pub v_high: f64,
+    /// Bottom of the voltage grid (normalized; inclusive).
+    pub v_low: f64,
+    /// Number of grid voltages between `v_high` and `v_low` (>= 2).
+    pub steps: usize,
+    /// Fraction of the fault-free cache a die must retain to count as
+    /// operational (0.5 matches the paper's "more than 50% capacity" framing
+    /// and word-disabling's halved organization).
+    pub min_capacity: f64,
+    /// Master seed from which every die and fault map derives.
+    pub master_seed: u64,
+}
+
+impl YieldParams {
+    /// A quick campaign: 200 dies over an 11-point grid from Vcc-min (0.70)
+    /// down to below the paper's half-nominal floor. Finishes in well under a
+    /// second; the scale the golden snapshot is pinned at.
+    #[must_use]
+    pub fn quick() -> Self {
+        Self {
+            dies: 200,
+            variation: VariationModel::ispass2010(),
+            v_high: 0.70,
+            v_low: 0.45,
+            steps: 11,
+            min_capacity: 0.5,
+            master_seed: 0x15_2A55_2010,
+        }
+    }
+
+    /// A smoke-test campaign: a couple dozen dies on a coarse grid.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Self {
+            dies: 24,
+            steps: 6,
+            master_seed: 7,
+            ..Self::quick()
+        }
+    }
+
+    /// The voltage grid, highest voltage first (the order dies are probed in).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are degenerate: fewer than two steps, a
+    /// non-finite or inverted voltage range, or a capacity floor outside
+    /// `[0, 1]`.
+    #[must_use]
+    pub fn voltage_grid(&self) -> Vec<f64> {
+        assert!(self.steps >= 2, "a voltage grid needs at least two points");
+        assert!(
+            self.v_high.is_finite() && self.v_low.is_finite() && self.v_high > self.v_low,
+            "voltage grid must run downward from v_high ({}) to v_low ({})",
+            self.v_high,
+            self.v_low
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.min_capacity),
+            "min_capacity must be a fraction, got {}",
+            self.min_capacity
+        );
+        let span = self.v_high - self.v_low;
+        (0..self.steps)
+            .map(|i| self.v_high - span * i as f64 / (self.steps - 1) as f64)
+            .collect()
+    }
+
+    /// Per-die (variation seed, fault-map seed) pairs, derived from the master
+    /// seed. Exposed so tests can replay an individual die.
+    #[must_use]
+    pub fn die_seeds(&self) -> Vec<(u64, u64)> {
+        let mut seeds = SeedSequence::new(self.master_seed).fork("yield-dies");
+        (0..self.dies)
+            .map(|_| {
+                let die = seeds.next_seed();
+                let map = seeds.next_seed();
+                (die, map)
+            })
+            .collect()
+    }
+}
+
+impl Default for YieldParams {
+    fn default() -> Self {
+        Self::quick()
+    }
+}
+
+/// The outcome of one die: per repair scheme (registry order), whether the die
+/// is operational at each grid voltage and the resulting minimum operational
+/// voltage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DieResult {
+    /// Per scheme, per grid voltage (highest first): is the die operational?
+    pub operational: Vec<Vec<bool>>,
+    /// Per scheme: the lowest grid voltage the die runs at, or `None` if the
+    /// die fails the scheme even at the top of the grid.
+    pub min_voltage: Vec<Option<f64>>,
+}
+
+/// The die-population yield study over every scheme in the repair registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YieldStudy {
+    /// The parameters the study ran with.
+    pub params: YieldParams,
+    /// The probed voltage grid, highest first.
+    pub grid: Vec<f64>,
+    /// One result per die, in population order.
+    pub dies: Vec<DieResult>,
+}
+
+impl YieldStudy {
+    /// The cache array the die population is sampled for: the paper's L1.
+    #[must_use]
+    pub fn geometry() -> CacheGeometry {
+        CacheGeometry::ispass2010_l1()
+    }
+
+    /// Evaluates one die: sample its variation, generate its fault map at
+    /// every grid voltage (nested, because the map seed is fixed per die) and
+    /// query every repair scheme's capacity. Both executors run each die
+    /// through this single function, which is what makes them bit-identical.
+    fn run_die(params: &YieldParams, grid: &[f64], die_seed: u64, map_seed: u64) -> DieResult {
+        let geometry = Self::geometry();
+        let die = DieVariation::sample(&geometry, &params.variation, die_seed);
+        let schemes = registry();
+        let mut operational = vec![Vec::with_capacity(grid.len()); schemes.len()];
+        for &v in grid {
+            let map = FaultMap::generate_at_voltage(&die, v, map_seed);
+            for (i, scheme) in schemes.iter().enumerate() {
+                operational[i].push(scheme.meets_capacity_floor(&map, params.min_capacity));
+            }
+        }
+        // Fault maps are nested across the descending grid and capacity is
+        // monotone in the faults, so each scheme's flags are a prefix of
+        // `true`s: the minimum operational voltage is the end of that prefix.
+        let min_voltage = operational
+            .iter()
+            .map(|flags| {
+                let usable = flags.iter().take_while(|&&ok| ok).count();
+                usable.checked_sub(1).map(|k| grid[k])
+            })
+            .collect();
+        DieResult {
+            operational,
+            min_voltage,
+        }
+    }
+
+    /// Runs the campaign serially. Kept as the reference implementation;
+    /// [`YieldStudy::run_parallel`] produces bit-identical results faster.
+    #[must_use]
+    pub fn run(params: &YieldParams) -> Self {
+        let grid = params.voltage_grid();
+        let dies = params
+            .die_seeds()
+            .into_iter()
+            .map(|(die_seed, map_seed)| Self::run_die(params, &grid, die_seed, map_seed))
+            .collect();
+        Self {
+            params: params.clone(),
+            grid,
+            dies,
+        }
+    }
+
+    /// Runs the campaign on all available cores, one job per die. Bit-identical
+    /// to [`YieldStudy::run`]: every seed is derived up front and the
+    /// parallel-map executor reassembles results in die order.
+    #[must_use]
+    pub fn run_parallel(params: &YieldParams) -> Self {
+        let grid = params.voltage_grid();
+        let dies = params
+            .die_seeds()
+            .into_par_iter()
+            .map(|(die_seed, map_seed)| Self::run_die(params, &grid, die_seed, map_seed))
+            .collect();
+        Self {
+            params: params.clone(),
+            grid,
+            dies,
+        }
+    }
+
+    /// The scheme labels of the study's columns, in registry order.
+    #[must_use]
+    pub fn scheme_labels() -> Vec<String> {
+        registry().iter().map(|s| s.label().to_string()).collect()
+    }
+
+    /// Fraction of dies operational under scheme `scheme_index` at grid
+    /// voltage `grid_index`.
+    #[must_use]
+    pub fn yield_at(&self, scheme_index: usize, grid_index: usize) -> f64 {
+        if self.dies.is_empty() {
+            return 0.0;
+        }
+        let ok = self
+            .dies
+            .iter()
+            .filter(|d| d.operational[scheme_index][grid_index])
+            .count();
+        ok as f64 / self.dies.len() as f64
+    }
+
+    /// The yield-vs-voltage curves: one row per grid voltage (highest first),
+    /// one column per repair scheme, each cell the fraction of dies
+    /// operational at that voltage.
+    #[must_use]
+    pub fn yield_curve(&self) -> FigureTable {
+        let mut table = FigureTable::new(
+            "Yield study: fraction of dies operational vs supply voltage",
+            "voltage",
+            Self::scheme_labels(),
+        );
+        let schemes = registry().len();
+        for (k, &v) in self.grid.iter().enumerate() {
+            let values = (0..schemes).map(|i| self.yield_at(i, k)).collect();
+            table.push_row(format!("{v:.3}"), values);
+        }
+        table
+    }
+
+    /// The per-scheme Vcc-min distribution over the die population: mean,
+    /// best (lowest) and worst (highest) minimum operational voltage among
+    /// dies that run at all, plus the fraction of dead dies (not operational
+    /// even at the top of the grid). Dead-die voltage statistics report 0.
+    #[must_use]
+    pub fn vccmin_summary(&self) -> FigureTable {
+        let mut table = FigureTable::new(
+            "Yield study: die Vcc-min distribution per repair scheme",
+            "scheme",
+            vec![
+                "mean Vcc-min".into(),
+                "best Vcc-min".into(),
+                "worst Vcc-min".into(),
+                "dead fraction".into(),
+            ],
+        );
+        for (i, scheme) in registry().iter().enumerate() {
+            let alive: Vec<f64> = self
+                .dies
+                .iter()
+                .filter_map(|d| d.min_voltage[i])
+                .collect();
+            let dead = self.dies.len() - alive.len();
+            let (mean, best, worst) = if alive.is_empty() {
+                (0.0, 0.0, 0.0)
+            } else {
+                (
+                    alive.iter().sum::<f64>() / alive.len() as f64,
+                    alive.iter().cloned().fold(f64::INFINITY, f64::min),
+                    alive.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+                )
+            };
+            let dead_fraction = if self.dies.is_empty() {
+                0.0
+            } else {
+                dead as f64 / self.dies.len() as f64
+            };
+            table.push_row(scheme.label(), vec![mean, best, worst, dead_fraction]);
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vccmin_fault::PfailVoltageModel;
+
+    fn tiny() -> YieldParams {
+        YieldParams {
+            dies: 8,
+            steps: 5,
+            ..YieldParams::smoke()
+        }
+    }
+
+    #[test]
+    fn voltage_grid_is_descending_and_inclusive() {
+        let grid = YieldParams::quick().voltage_grid();
+        assert_eq!(grid.len(), 11);
+        assert!((grid[0] - 0.70).abs() < 1e-12);
+        assert!((grid[10] - 0.45).abs() < 1e-12);
+        for pair in grid.windows(2) {
+            assert!(pair[1] < pair[0]);
+        }
+    }
+
+    #[test]
+    fn die_seeds_are_deterministic_and_distinct() {
+        let params = tiny();
+        let a = params.die_seeds();
+        assert_eq!(a, params.die_seeds());
+        assert_eq!(a.len(), params.dies);
+        let unique: std::collections::HashSet<u64> =
+            a.iter().flat_map(|&(d, m)| [d, m]).collect();
+        assert_eq!(unique.len(), 2 * params.dies);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_serial() {
+        let params = tiny();
+        let serial = YieldStudy::run(&params);
+        let parallel = YieldStudy::run_parallel(&params);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.yield_curve(), parallel.yield_curve());
+        assert_eq!(serial.vccmin_summary(), parallel.vccmin_summary());
+    }
+
+    #[test]
+    fn operational_flags_form_a_prefix_and_yield_is_monotone() {
+        let study = YieldStudy::run(&tiny());
+        for die in &study.dies {
+            for flags in &die.operational {
+                let first_false = flags.iter().take_while(|&&ok| ok).count();
+                assert!(
+                    flags[first_false..].iter().all(|&ok| !ok),
+                    "operational flags must be a true-prefix: {flags:?}"
+                );
+            }
+        }
+        for i in 0..YieldStudy::scheme_labels().len() {
+            for k in 1..study.grid.len() {
+                assert!(
+                    study.yield_at(i, k) <= study.yield_at(i, k - 1) + 1e-12,
+                    "yield must not grow as voltage drops"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_runs_every_die_to_the_bottom_of_the_grid() {
+        let study = YieldStudy::run(&tiny());
+        let bottom = *study.grid.last().unwrap();
+        for die in &study.dies {
+            // Registry order puts the idealized baseline first.
+            assert_eq!(die.min_voltage[0], Some(bottom));
+        }
+        assert_eq!(study.yield_at(0, study.grid.len() - 1), 1.0);
+    }
+
+    #[test]
+    fn schemes_order_their_vccmin_as_their_capacity_models_predict() {
+        // At the top of the grid (pfail ~ 1e-7) every scheme should be alive;
+        // bit-fix must never have a worse Vcc-min than block-disabling on the
+        // same die (it dominates block-disabling on every fault map).
+        let study = YieldStudy::run(&YieldParams::smoke());
+        let labels = YieldStudy::scheme_labels();
+        let block = labels.iter().position(|l| l == "block disabling").unwrap();
+        let bitfix = labels.iter().position(|l| l == "bit fix").unwrap();
+        for die in &study.dies {
+            assert!(die.min_voltage[block].is_some(), "die dead at pfail ~ 1e-7");
+            let (b, f) = (die.min_voltage[block].unwrap(), die.min_voltage[bitfix].unwrap());
+            assert!(f <= b + 1e-12, "bit-fix Vcc-min {f} worse than block-disabling {b}");
+        }
+    }
+
+    #[test]
+    fn yield_curve_and_summary_have_the_expected_shape() {
+        let study = YieldStudy::run(&tiny());
+        let curve = study.yield_curve();
+        assert_eq!(curve.rows.len(), study.grid.len());
+        assert_eq!(curve.series_labels.len(), 5);
+        for (_, values) in &curve.rows {
+            for v in values {
+                assert!((0.0..=1.0).contains(v));
+            }
+        }
+        let summary = study.vccmin_summary();
+        assert_eq!(summary.rows.len(), 5);
+        for (_, values) in &summary.rows {
+            // best <= mean <= worst for live schemes.
+            assert!(values[1] <= values[0] + 1e-12);
+            assert!(values[0] <= values[2] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_population_yields_zero_not_nan() {
+        let params = YieldParams { dies: 0, ..tiny() };
+        let study = YieldStudy::run(&params);
+        assert_eq!(study.yield_at(0, 0), 0.0);
+        let summary = study.vccmin_summary();
+        for (_, values) in &summary.rows {
+            assert!(values.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn iid_population_is_statistically_flat_across_dies() {
+        // Without systematic variation every die sees the same per-word
+        // probabilities; at the paper's operating point (~0.5 V, pfail 1e-3)
+        // block-disabling should keep essentially every die above half
+        // capacity (the paper's 99.9% claim).
+        let params = YieldParams {
+            dies: 64,
+            variation: VariationModel::iid(PfailVoltageModel::ispass2010()),
+            ..YieldParams::quick()
+        };
+        let study = YieldStudy::run(&params);
+        let labels = YieldStudy::scheme_labels();
+        let block = labels.iter().position(|l| l == "block disabling").unwrap();
+        let half_volt = study
+            .grid
+            .iter()
+            .position(|&v| (v - 0.5).abs() < 1e-9)
+            .expect("0.5 is on the quick grid");
+        assert!(study.yield_at(block, half_volt) > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn degenerate_grid_is_rejected() {
+        let params = YieldParams { steps: 1, ..tiny() };
+        let _ = params.voltage_grid();
+    }
+}

@@ -13,6 +13,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use crate::geometry::CacheGeometry;
+use crate::variation::DieVariation;
 
 /// Fault status of one cache block.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -135,28 +136,49 @@ impl FaultMap {
             pfail.is_finite() && (0.0..=1.0).contains(&pfail),
             "pfail must be a probability, got {pfail}"
         );
-        let words_per_block = geometry.words_per_block() as u8;
-        let word_bits = geometry.word_bytes() * 8;
-        let tag_bits = geometry.tag_bits() + geometry.meta_bits();
-        let p_word = prob_any_fault(word_bits, pfail);
-        let p_tag = prob_any_fault(tag_bits, pfail);
-
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let blocks = (0..geometry.blocks())
-            .map(|_| {
-                let mut mask = 0u64;
-                for w in 0..words_per_block {
-                    if rng.gen_bool(p_word) {
-                        mask |= 1 << w;
-                    }
-                }
-                let tag_faulty = rng.gen_bool(p_tag);
-                BlockFaults::new(words_per_block, mask, tag_faulty)
-            })
-            .collect();
+        let blocks = sample_blocks(geometry, seed, |_, _| pfail);
         Self {
             geometry: *geometry,
             pfail,
+            seed,
+            blocks,
+        }
+    }
+
+    /// Samples the fault map of a concrete die at a given supply voltage: each
+    /// block's cells fail with the block's own probability
+    /// [`DieVariation::cell_pfail_at`] (the calibrated `pfail(V)` bridge
+    /// shifted by the block's systematic Vcc-min offset), sampled at word/tag
+    /// granularity exactly like [`FaultMap::generate`].
+    ///
+    /// Two invariants make this the backbone of the yield studies:
+    ///
+    /// * **Voltage nesting** — for the same `die` and `seed`, the faults at a
+    ///   lower voltage are a superset of the faults at any higher voltage
+    ///   (each word/tag compares the *same* uniform draw against a threshold
+    ///   that only grows as the supply drops), so a die's minimum operational
+    ///   voltage is well defined and yield curves are monotone.
+    /// * **i.i.d. degeneracy** — for a die with zero systematic variance this
+    ///   is bit-for-bit identical to `FaultMap::generate(geom, pfail(V), seed)`:
+    ///   same per-word probabilities, same RNG consumption order.
+    ///
+    /// The map's `pfail` metadata records the i.i.d.-bridge failure
+    /// probability `pfail(voltage)` (the die-average including systematic
+    /// offsets is available as [`DieVariation::mean_cell_pfail_at`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltage` is NaN.
+    #[must_use]
+    pub fn generate_at_voltage(die: &DieVariation, voltage: f64, seed: u64) -> Self {
+        assert!(!voltage.is_nan(), "voltage must not be NaN");
+        let geometry = *die.geometry();
+        let blocks = sample_blocks(&geometry, seed, |set, way| {
+            die.cell_pfail_at(set, way, voltage)
+        });
+        Self {
+            geometry,
+            pfail: die.model().pfail_voltage.pfail(voltage),
             seed,
             blocks,
         }
@@ -304,6 +326,40 @@ impl FaultMap {
             faulty_tags: self.blocks.iter().filter(|b| b.tag_is_faulty()).count() as u64,
         }
     }
+}
+
+/// The one sampling loop behind both [`FaultMap::generate`] (constant
+/// `p_cell`) and [`FaultMap::generate_at_voltage`] (per-block `p_cell`):
+/// blocks in (set-major, way-minor) order, each drawing one uniform per word
+/// then one for the tag. Sharing the loop makes the documented invariant —
+/// zero-systematic voltage sampling is bit-identical to i.i.d. sampling at the
+/// same probability — structural rather than merely test-enforced.
+fn sample_blocks(
+    geometry: &CacheGeometry,
+    seed: u64,
+    mut p_cell: impl FnMut(u64, u64) -> f64,
+) -> Vec<BlockFaults> {
+    let words_per_block = geometry.words_per_block() as u8;
+    let word_bits = geometry.word_bytes() * 8;
+    let tag_bits = geometry.tag_bits() + geometry.meta_bits();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut blocks = Vec::with_capacity(geometry.blocks() as usize);
+    for set in 0..geometry.sets() {
+        for way in 0..geometry.associativity() {
+            let p = p_cell(set, way);
+            let p_word = prob_any_fault(word_bits, p);
+            let p_tag = prob_any_fault(tag_bits, p);
+            let mut mask = 0u64;
+            for w in 0..words_per_block {
+                if rng.gen_bool(p_word) {
+                    mask |= 1 << w;
+                }
+            }
+            let tag_faulty = rng.gen_bool(p_tag);
+            blocks.push(BlockFaults::new(words_per_block, mask, tag_faulty));
+        }
+    }
+    blocks
 }
 
 /// Probability that a group of `bits` cells contains at least one fault.
@@ -474,6 +530,93 @@ mod tests {
     fn out_of_range_block_access_panics() {
         let m = FaultMap::fault_free(&l1());
         let _ = m.block(64, 0);
+    }
+
+    #[test]
+    fn zero_systematic_variance_sampling_is_bit_identical_to_iid_generate() {
+        use crate::variation::{DieVariation, VariationModel};
+        use vccmin_analysis::yield_model::PfailVoltageModel;
+
+        let bridge = PfailVoltageModel::ispass2010();
+        let die = DieVariation::sample(&l1(), &VariationModel::iid(bridge), 1);
+        for &(voltage, seed) in &[(0.50, 7u64), (0.55, 8), (0.47, 1234)] {
+            let at_voltage = FaultMap::generate_at_voltage(&die, voltage, seed);
+            let iid = FaultMap::generate(&l1(), bridge.pfail(voltage), seed);
+            assert_eq!(
+                at_voltage, iid,
+                "zero-systematic sampling at V={voltage} must degenerate to i.i.d."
+            );
+        }
+    }
+
+    #[test]
+    fn faults_are_nested_across_voltages_for_the_same_die_and_seed() {
+        use crate::variation::{DieVariation, VariationModel};
+
+        let die = DieVariation::sample(&l1(), &VariationModel::ispass2010(), 99);
+        let voltages = [0.65, 0.60, 0.55, 0.50, 0.45];
+        let maps: Vec<FaultMap> = voltages
+            .iter()
+            .map(|&v| FaultMap::generate_at_voltage(&die, v, 5))
+            .collect();
+        for pair in maps.windows(2) {
+            let (higher, lower) = (&pair[0], &pair[1]);
+            for set in 0..l1().sets() {
+                for way in 0..l1().associativity() {
+                    let h = higher.block(set, way);
+                    let l = lower.block(set, way);
+                    assert_eq!(
+                        h.faulty_word_mask() & l.faulty_word_mask(),
+                        h.faulty_word_mask(),
+                        "a word faulty at a higher voltage must stay faulty below"
+                    );
+                    assert!(!h.tag_is_faulty() || l.tag_is_faulty());
+                }
+            }
+            assert!(lower.stats().faulty_words >= higher.stats().faulty_words);
+        }
+    }
+
+    #[test]
+    fn systematic_offsets_skew_faults_toward_slow_blocks() {
+        use crate::variation::{DieVariation, VariationModel};
+        use vccmin_analysis::yield_model::PfailVoltageModel;
+
+        // A strongly varying die: blocks with a positive systematic offset
+        // (higher Vcc-min) must accumulate more word faults than blocks with a
+        // negative one, aggregated over many sampling seeds.
+        let model = VariationModel::new(PfailVoltageModel::ispass2010(), 0.05, 4);
+        let die = DieVariation::sample(&l1(), &model, 4);
+        let mut slow = (0.0f64, 0.0f64); // (faulty words, blocks) with offset > 0
+        let mut fast = (0.0f64, 0.0f64); // with offset < 0
+        for seed in 0..30 {
+            let map = FaultMap::generate_at_voltage(&die, 0.5, seed);
+            for set in 0..l1().sets() {
+                for way in 0..l1().associativity() {
+                    let faults = f64::from(map.block(set, way).faulty_word_count());
+                    if die.systematic_offset(set, way) > 0.0 {
+                        slow = (slow.0 + faults, slow.1 + 1.0);
+                    } else {
+                        fast = (fast.0 + faults, fast.1 + 1.0);
+                    }
+                }
+            }
+        }
+        assert!(slow.1 > 0.0 && fast.1 > 0.0, "the die should have both kinds of blocks");
+        assert!(
+            slow.0 / slow.1 > fast.0 / fast.1,
+            "slow blocks ({}) must fault more than fast blocks ({})",
+            slow.0 / slow.1,
+            fast.0 / fast.1
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_voltage_is_rejected_by_generate_at_voltage() {
+        use crate::variation::{DieVariation, VariationModel};
+        let die = DieVariation::sample(&l1(), &VariationModel::ispass2010(), 0);
+        let _ = FaultMap::generate_at_voltage(&die, f64::NAN, 0);
     }
 
     #[test]

@@ -10,6 +10,11 @@
 //!   would produce;
 //! * [`SeedSequence`] — a SplitMix64 sequence used to derive independent seeds for
 //!   the many fault maps an experiment needs;
+//! * [`variation`] — process variation: per-die, spatially-correlated systematic
+//!   Vcc-min offsets (seeded coarse-grid Gaussian field, bilinear interpolation)
+//!   on top of the calibrated `pfail(V)` random component, and
+//!   [`FaultMap::generate_at_voltage`] to sample the die's fault map at any
+//!   supply voltage;
 //! * classification helpers used by the disabling schemes (faulty blocks per set,
 //!   word-disable usability, victim-cache entry survival).
 //!
@@ -36,8 +41,11 @@
 pub mod fault_map;
 pub mod geometry;
 pub mod seed;
+pub mod variation;
 
 pub use fault_map::{BlockFaults, FaultMap, FaultMapStats};
 pub use geometry::{CacheGeometry, GeometryError};
 pub use seed::SeedSequence;
+pub use variation::{DieVariation, SystematicField, VariationModel};
 pub use vccmin_analysis::victim::CellTechnology;
+pub use vccmin_analysis::yield_model::PfailVoltageModel;

@@ -8,12 +8,42 @@ use vccmin_core::analysis::{block_faults, capacity::CapacityDistribution, increm
 use vccmin_core::cache::repair;
 use vccmin_core::cache::{CacheHierarchy, DisablingScheme, HierarchyConfig, HitLevel, VoltageMode};
 use vccmin_core::cpu::{CpuConfig, OpClass, Pipeline, TraceInstruction};
-use vccmin_core::{ArrayGeometry, CacheGeometry, FaultMap, RepairScheme};
+use vccmin_core::fault::FaultMapStats;
+use vccmin_core::{
+    ArrayGeometry, CacheGeometry, DieVariation, FaultMap, RepairScheme, VariationModel,
+};
 
 /// A scheme's usable capacity fraction for a fault map, counting an
 /// unrepairable cache (whole-cache failure) as zero capacity.
 fn capacity_or_zero(scheme: &dyn RepairScheme, map: &FaultMap) -> f64 {
     scheme.effective_capacity(map).unwrap_or(0.0)
+}
+
+/// Brute-force recount of every aggregate a [`FaultMapStats`] reports, walking
+/// each (set, way) block and its words individually.
+fn brute_force_stats(map: &FaultMap) -> FaultMapStats {
+    let geom = map.geometry();
+    let mut stats = FaultMapStats {
+        total_blocks: 0,
+        faulty_blocks: 0,
+        faulty_words: 0,
+        faulty_tags: 0,
+    };
+    for set in 0..geom.sets() {
+        for way in 0..geom.associativity() {
+            let block = map.block(set, way);
+            stats.total_blocks += 1;
+            let words = (0..block.words()).filter(|&w| block.word_is_faulty(w)).count() as u64;
+            stats.faulty_words += words;
+            if block.tag_is_faulty() {
+                stats.faulty_tags += 1;
+            }
+            if words > 0 || block.tag_is_faulty() {
+                stats.faulty_blocks += 1;
+            }
+        }
+    }
+    stats
 }
 
 fn small_pfail() -> impl Strategy<Value = f64> {
@@ -124,6 +154,51 @@ proptest! {
         prop_assert_eq!(per_set_sum, map.fault_free_blocks());
         // Regenerating with the same seed reproduces the same map.
         prop_assert_eq!(&map, &FaultMap::generate(&geom, pfail, seed));
+    }
+
+    #[test]
+    fn fault_map_stats_agree_with_a_brute_force_recount(
+        pfail in small_pfail(),
+        seed in any::<u64>(),
+        die_seed in any::<u64>(),
+        voltage in 0.42..0.72f64,
+    ) {
+        let geom = CacheGeometry::ispass2010_l1();
+        // The classic i.i.d. map…
+        let map = FaultMap::generate(&geom, pfail, seed);
+        prop_assert_eq!(map.stats(), brute_force_stats(&map));
+        // …and the voltage-derived process-variation map.
+        let die = DieVariation::sample(&geom, &VariationModel::ispass2010(), die_seed);
+        let vmap = FaultMap::generate_at_voltage(&die, voltage, seed);
+        prop_assert_eq!(vmap.stats(), brute_force_stats(&vmap));
+    }
+
+    // ------------------------------------------------------- process variation ----
+
+    #[test]
+    fn die_operability_is_monotone_in_voltage_for_every_scheme(
+        die_seed in any::<u64>(),
+        map_seed in any::<u64>(),
+    ) {
+        // Per die and scheme, "operational" can only switch off as the supply
+        // drops — never back on. This is the per-die statement of "yield is
+        // monotone non-increasing as the target voltage drops".
+        let geom = CacheGeometry::ispass2010_l1();
+        let die = DieVariation::sample(&geom, &VariationModel::ispass2010(), die_seed);
+        let grid = [0.70, 0.65, 0.60, 0.55, 0.50, 0.475, 0.45, 0.40];
+        for scheme in repair::registry() {
+            let mut dead = false;
+            for &v in &grid {
+                let map = FaultMap::generate_at_voltage(&die, v, map_seed);
+                let ok = scheme.meets_capacity_floor(&map, 0.5);
+                prop_assert!(
+                    !(dead && ok),
+                    "{} recovered at {v} after failing at a higher voltage",
+                    scheme.name()
+                );
+                dead = !ok;
+            }
+        }
     }
 
     // --------------------------------------------------------- repair schemes ----
