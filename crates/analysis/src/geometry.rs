@@ -93,6 +93,20 @@ impl ArrayGeometry {
         }
     }
 
+    /// The paper's unified L2: 2 MB, 64 B/block, 18-bit tag, 1 valid bit
+    /// (`d = 32768`, `k = 531`). The closed-form capacity and failure models
+    /// apply to it unchanged — only the block count and per-block cell count
+    /// differ from the L1.
+    #[must_use]
+    pub fn ispass2010_l2() -> Self {
+        Self {
+            blocks: 32 * 1024,
+            data_bits_per_block: 64 * 8,
+            tag_bits_per_block: 18,
+            meta_bits_per_block: 1,
+        }
+    }
+
     /// The paper's 16-entry fully-associative victim cache (64 B blocks, 31 bits of
     /// tag+metadata per entry, matching Table I's `31 + 16 * 512` accounting).
     #[must_use]
@@ -204,6 +218,17 @@ mod tests {
         assert_eq!(g.blocks(), 512);
         assert_eq!(g.cells_per_block(), 537);
         assert_eq!(g.total_cells(), 274_944);
+    }
+
+    #[test]
+    fn paper_l2_matches_the_cache_view() {
+        let g = ArrayGeometry::ispass2010_l2();
+        assert_eq!(g.blocks(), 32 * 1024);
+        assert_eq!(g.cells_per_block(), 531);
+        assert_eq!(
+            g,
+            ArrayGeometry::from_cache_organization(2 * 1024 * 1024, 64, 18, 1).unwrap()
+        );
     }
 
     #[test]

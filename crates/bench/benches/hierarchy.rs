@@ -1,0 +1,170 @@
+//! Hot-path benchmark of `CacheHierarchy::access_data`: the perfect-L2
+//! hierarchy against repair-protected (faulty) L2 organizations, at high and
+//! low voltage.
+//!
+//! Besides the criterion timings, the bench emits a machine-readable baseline
+//! (`BENCH_hierarchy.json` at the workspace root) so future optimization work
+//! on the access path has a pinned starting point: one entry per
+//! configuration with the median/min ns-per-access over the sample set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use vccmin_core::cache::{
+    CacheGeometry, CacheHierarchy, DisablingScheme, FaultMap, HierarchyConfig, VoltageMode,
+};
+
+/// Accesses per measured sample — large enough to touch every L2 set.
+const STREAM_LEN: usize = 1 << 16;
+/// Timed samples per configuration (plus one warm-up pass).
+const SAMPLES: usize = 20;
+
+/// A deterministic mixed load/store stream: 70% hot accesses in a 256 KB
+/// working set (L2 hits), 30% cold accesses over 16 MB (L2 misses), one store
+/// in four — enough dirty evictions to exercise the write-back path.
+fn address_stream() -> Vec<(u64, bool)> {
+    let mut state = 0x2545_F491_4F6C_DD1Du64;
+    (0..STREAM_LEN)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let hot = (state >> 33) % 10 < 7;
+            let addr = if hot {
+                (state >> 8) % (256 * 1024)
+            } else {
+                (state >> 8) % (16 * 1024 * 1024)
+            };
+            (addr, i % 4 == 0)
+        })
+        .collect()
+}
+
+/// The benchmarked configurations: label + hierarchy.
+fn hierarchies() -> Vec<(&'static str, CacheHierarchy)> {
+    let l1_geom = CacheGeometry::ispass2010_l1();
+    let l2_geom = CacheGeometry::ispass2010_l2();
+    let map_i = FaultMap::generate(&l1_geom, 0.001, 1);
+    let map_d = FaultMap::generate(&l1_geom, 0.001, 2);
+    let l2_map = FaultMap::generate(&l2_geom, 0.001, 3);
+
+    let high = HierarchyConfig::ispass2010(DisablingScheme::Baseline, VoltageMode::High);
+    let low_l1 = HierarchyConfig::ispass2010(DisablingScheme::BlockDisabling, VoltageMode::Low);
+    let low_both = low_l1.with_l2_scheme(DisablingScheme::BlockDisabling);
+    let low_bitfix = HierarchyConfig::ispass2010(DisablingScheme::BitFix, VoltageMode::Low)
+        .with_l2_scheme(DisablingScheme::BitFix);
+
+    vec![
+        ("high_voltage_perfect_l2", CacheHierarchy::new(high)),
+        (
+            "low_voltage_block_disable_l1_perfect_l2",
+            CacheHierarchy::with_fault_maps(low_l1, Some(&map_i), Some(&map_d)).unwrap(),
+        ),
+        (
+            "low_voltage_block_disable_l1_and_l2",
+            CacheHierarchy::with_all_fault_maps(low_both, Some(&map_i), Some(&map_d), Some(&l2_map))
+                .unwrap(),
+        ),
+        (
+            "low_voltage_bit_fix_l1_and_l2",
+            CacheHierarchy::with_all_fault_maps(
+                low_bitfix,
+                Some(&map_i),
+                Some(&map_d),
+                Some(&l2_map),
+            )
+            .unwrap(),
+        ),
+    ]
+}
+
+/// Runs the stream once through the hierarchy, returning a checksum so the
+/// work cannot be optimized away.
+fn run_stream(h: &mut CacheHierarchy, stream: &[(u64, bool)]) -> u64 {
+    let mut acc = 0u64;
+    for &(addr, write) in stream {
+        acc = acc.wrapping_add(u64::from(h.access_data(addr, write).latency));
+    }
+    acc
+}
+
+struct Measurement {
+    name: &'static str,
+    median_ns_per_access: f64,
+    min_ns_per_access: f64,
+    samples: usize,
+}
+
+/// Steady-state measurement: one untimed warm-up pass, then `SAMPLES` timed
+/// full-stream passes over the warm hierarchy.
+fn measure(name: &'static str, h: &mut CacheHierarchy, stream: &[(u64, bool)]) -> Measurement {
+    black_box(run_stream(h, stream));
+    let mut per_access: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let start = Instant::now();
+            black_box(run_stream(h, stream));
+            start.elapsed().as_nanos() as f64 / stream.len() as f64
+        })
+        .collect();
+    per_access.sort_by(|a, b| a.total_cmp(b));
+    Measurement {
+        name,
+        median_ns_per_access: per_access[per_access.len() / 2],
+        min_ns_per_access: per_access[0],
+        samples: per_access.len(),
+    }
+}
+
+/// Writes the JSON baseline at the workspace root (hand-rolled: the workspace
+/// vendors no JSON serializer).
+fn write_baseline(measurements: &[Measurement]) {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hierarchy.json");
+    let entries: Vec<String> = measurements
+        .iter()
+        .map(|m| {
+            format!(
+                "    {{\n      \"name\": \"{}\",\n      \"median_ns_per_access\": {:.2},\n      \"min_ns_per_access\": {:.2},\n      \"samples\": {}\n    }}",
+                m.name, m.median_ns_per_access, m.min_ns_per_access, m.samples
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"hierarchy_access_data\",\n  \"stream_accesses\": {},\n  \"benchmarks\": [\n{}\n  ]\n}}\n",
+        STREAM_LEN,
+        entries.join(",\n")
+    );
+    match std::fs::write(path, json) {
+        Ok(()) => println!("baseline written to BENCH_hierarchy.json"),
+        Err(e) => eprintln!("could not write BENCH_hierarchy.json: {e}"),
+    }
+}
+
+fn bench_hierarchy_access(c: &mut Criterion) {
+    let stream = address_stream();
+    // `-- --test` (the CI smoke mode): one correctness pass per configuration,
+    // no timing loops, and — crucially — no rewrite of the pinned
+    // BENCH_hierarchy.json baseline with throwaway numbers.
+    if std::env::args().any(|a| a == "--test") {
+        for (name, mut hierarchy) in hierarchies() {
+            let checksum = run_stream(&mut hierarchy, &stream);
+            assert!(checksum > 0, "{name}: the stream must accumulate latency");
+            println!("test: {name} ok (latency checksum {checksum})");
+        }
+        return;
+    }
+    let mut measurements = Vec::new();
+    let mut group = c.benchmark_group("hierarchy_access_data");
+    group.sample_size(SAMPLES).measurement_time(Duration::from_secs(10));
+    for (name, mut hierarchy) in hierarchies() {
+        measurements.push(measure(name, &mut hierarchy, &stream));
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_stream(&mut hierarchy, &stream)))
+        });
+    }
+    group.finish();
+    write_baseline(&measurements);
+}
+
+criterion_group!(benches, bench_hierarchy_access);
+criterion_main!(benches);

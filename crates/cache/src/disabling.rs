@@ -88,6 +88,13 @@ impl DisablingScheme {
         self.repair().extra_latency(mode)
     }
 
+    /// Extra unified-L2 hit latency (cycles) imposed by the scheme in the given
+    /// voltage mode, when this scheme protects the L2.
+    #[must_use]
+    pub fn extra_l2_latency(self, mode: VoltageMode) -> u32 {
+        self.repair().extra_l2_latency(mode)
+    }
+
     /// Words per word-disable subblock (8 in the paper). Only meaningful for
     /// [`DisablingScheme::WordDisabling`].
     #[must_use]

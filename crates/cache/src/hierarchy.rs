@@ -1,4 +1,4 @@
-//! Two-level cache hierarchy with optional victim caches.
+//! Two-level cache hierarchy with optional victim caches and a repairable L2.
 //!
 //! The hierarchy mirrors the memory system of Table II/III of the paper: split L1
 //! instruction and data caches (32 KB, 8-way, 64 B blocks, 3-cycle hit), optional
@@ -10,6 +10,34 @@
 //! that served it and the total latency in cycles. The out-of-order CPU model treats
 //! that latency as the completion time of the access and extracts memory-level
 //! parallelism by overlapping independent accesses.
+//!
+//! # The L2 below Vcc-min
+//!
+//! Every cache in the hierarchy limits Vcc-min, not just the L1s. The L2 can
+//! therefore carry its own repair scheme ([`HierarchyConfig::l2_scheme`], any
+//! entry of the [`crate::repair::registry`]): below Vcc-min the scheme resolves
+//! the L2 fault map into an effective organization (disabled ways for
+//! block-disabling/bit-fix/way-sacrifice, a halved 1 MB geometry for
+//! word-disabling) and adds its scheme-specific hit-latency penalty
+//! ([`RepairScheme::extra_l2_latency`](crate::repair::RepairScheme::extra_l2_latency)).
+//! The default scheme is the idealized fault-free baseline ("perfect L2"),
+//! which reproduces the paper's original memory system bit for bit.
+//!
+//! # Write-back model
+//!
+//! The caches are write-back, write-allocate tag stores. Stores mark the L1
+//! block dirty; a block's dirty bit follows it into (and back out of) the
+//! victim cache. Dirty data leaving the L1 side — an eviction with no victim
+//! cache attached, a block displaced out of the victim cache, or a store whose
+//! set has no usable way to allocate (written through) — takes an
+//! accounted write-back path toward the L2: if the block is still resident in
+//! the L2 its line is marked dirty (without touching LRU or demand-access
+//! statistics, so write-back traffic never perturbs the demand hit/miss
+//! stream), otherwise the data goes straight to memory. Dirty blocks evicted
+//! from the L2 itself also drain to memory. [`HierarchyStats::writebacks`]
+//! counts L1-side write-backs, [`HierarchyStats::memory_writebacks`] the dirty
+//! data that reached memory; both model traffic, not latency (write-backs ride
+//! the existing buses off the critical path).
 
 use vccmin_fault::{CacheGeometry, FaultMap};
 
@@ -52,7 +80,11 @@ pub struct HierarchyConfig {
     pub l1d: L1Config,
     /// Unified L2 geometry.
     pub l2_geometry: CacheGeometry,
-    /// L2 hit latency in cycles.
+    /// Fault-repair scheme protecting the unified L2. The default
+    /// ([`DisablingScheme::Baseline`]) is the idealized "perfect L2" the paper
+    /// assumes: fault free at any voltage, no latency overhead.
+    pub l2_scheme: DisablingScheme,
+    /// Base L2 hit latency in cycles, before any scheme overhead.
     pub l2_latency: u32,
     /// Main-memory latency in cycles.
     pub memory_latency: u32,
@@ -77,6 +109,7 @@ impl HierarchyConfig {
             l1i: l1,
             l1d: l1,
             l2_geometry: CacheGeometry::ispass2010_l2(),
+            l2_scheme: DisablingScheme::Baseline,
             l2_latency: Self::L2_LATENCY,
             memory_latency: match voltage {
                 VoltageMode::High => Self::MEMORY_LATENCY_HIGH_VOLTAGE,
@@ -98,6 +131,32 @@ impl HierarchyConfig {
         self.l1i.victim = Some(victim);
         self.l1d.victim = Some(victim);
         self
+    }
+
+    /// Protects the unified L2 with the given repair scheme.
+    #[must_use]
+    pub fn with_l2_scheme(mut self, scheme: DisablingScheme) -> Self {
+        self.l2_scheme = scheme;
+        self
+    }
+
+    /// L2 hit latency in cycles including the L2 scheme's overhead in this
+    /// configuration's voltage mode.
+    #[must_use]
+    pub fn l2_hit_latency(&self) -> u32 {
+        self.l2_latency + self.l2_scheme.extra_l2_latency(self.voltage)
+    }
+}
+
+/// The block address of a dirty [`VictimCache::insert`] displacement, if any.
+/// A single access displaces at most one dirty block: a demand eviction only
+/// bumps a victim-cache entry when the fill allocated (not bypassed), and the
+/// bypassed-path re-insert follows a `take` that just freed an entry, so the
+/// two can never displace in the same access.
+fn dirty_displacement(displaced: Option<(u64, bool)>) -> Option<u64> {
+    match displaced {
+        Some((addr, true)) => Some(addr),
+        _ => None,
     }
 }
 
@@ -132,43 +191,65 @@ impl L1Side {
         }
     }
 
-    /// Accesses this L1 (and its victim cache). Returns `(latency so far, served)`
-    /// where `served` is `None` if the request must continue to the next level.
-    fn access(&mut self, addr: u64, write: bool) -> (u32, Option<HitLevel>) {
+    /// Accesses this L1 (and its victim cache). Returns `(latency so far, served,
+    /// dirty victim)` where `served` is `None` if the request must continue to the
+    /// next level and the dirty victim is the block address of a dirty block this
+    /// access pushed out of the L1 side (an uncovered dirty eviction, or a dirty
+    /// block displaced out of the victim cache) that now owes a write-back.
+    fn access(&mut self, addr: u64, write: bool) -> (u32, Option<HitLevel>, Option<u64>) {
         let outcome = self.cache.access(addr, write);
         if outcome.hit {
-            return (self.hit_latency, Some(HitLevel::L1));
+            return (self.hit_latency, Some(HitLevel::L1), None);
         }
         // The demand access allocated (or bypassed); handle the eviction and probe the
         // victim cache. The probe overlaps with the start of the L2 access, so its
         // extra cycle is only charged when it actually hits (Table III: 1-cycle
         // victim-cache latency).
         if let Some(victim) = &mut self.victim {
+            let mut dirty_victim = None;
             if let Some(evicted) = outcome.evicted {
-                victim.insert(evicted, outcome.evicted_dirty);
+                dirty_victim = dirty_displacement(victim.insert(evicted, outcome.evicted_dirty));
             }
-            if victim.take(addr).is_some() {
+            if let Some(prior_dirty) = victim.take(addr) {
                 // The block moves back into the L1 (it was just allocated by the
                 // demand access unless the set is unusable; in that case it stays in
-                // the victim cache).
+                // the victim cache). Either way it keeps any write-back obligation
+                // it accumulated before it was evicted.
                 if outcome.bypassed {
-                    victim.insert(addr, write);
+                    dirty_victim = dirty_displacement(victim.insert(addr, prior_dirty || write));
+                } else if prior_dirty {
+                    self.cache.mark_dirty(addr);
                 }
-                return (self.hit_latency + self.victim_latency, Some(HitLevel::Victim));
+                return (
+                    self.hit_latency + self.victim_latency,
+                    Some(HitLevel::Victim),
+                    dirty_victim,
+                );
             }
-            (self.hit_latency, None)
+            (self.hit_latency, None, dirty_victim)
         } else {
-            (self.hit_latency, None)
+            // No victim cache: a dirty eviction goes straight to the write-back path.
+            let dirty_victim = if outcome.evicted_dirty {
+                outcome.evicted
+            } else {
+                None
+            };
+            (self.hit_latency, None, dirty_victim)
         }
     }
 
     /// Handles the arrival of a fill from a lower level when the demand access could
     /// not allocate (set with zero usable ways): stash it in the victim cache so the
-    /// block is not immediately lost.
-    fn fill_bypassed(&mut self, addr: u64, write: bool) {
-        if let Some(victim) = &mut self.victim {
-            victim.insert(addr, write);
-        }
+    /// block is not immediately lost. Returns the address of a dirty block the
+    /// insertion displaced, if any.
+    fn fill_bypassed(&mut self, addr: u64, write: bool) -> Option<u64> {
+        self.victim
+            .as_mut()
+            .and_then(|victim| dirty_displacement(victim.insert(addr, write)))
+    }
+
+    fn has_victim(&self) -> bool {
+        self.victim.is_some()
     }
 
     fn was_bypassed(&self, addr: u64) -> bool {
@@ -184,7 +265,10 @@ pub struct CacheHierarchy {
     l1i: L1Side,
     l1d: L1Side,
     l2: SetAssocCache,
+    l2_hit_latency: u32,
     memory_accesses: u64,
+    writebacks: u64,
+    memory_writebacks: u64,
 }
 
 impl CacheHierarchy {
@@ -192,16 +276,20 @@ impl CacheHierarchy {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration requires fault maps (low-voltage block- or
-    /// word-disabling); use [`CacheHierarchy::with_fault_maps`] for those.
+    /// Panics if the configuration requires fault maps (a low-voltage
+    /// fault-dependent scheme on an L1 or the L2); use
+    /// [`CacheHierarchy::with_fault_maps`] or
+    /// [`CacheHierarchy::with_all_fault_maps`] for those.
     #[must_use]
     pub fn new(config: HierarchyConfig) -> Self {
-        Self::with_fault_maps(config, None, None)
+        Self::with_all_fault_maps(config, None, None, None)
             .expect("configurations without fault maps cannot fail to build")
     }
 
     /// Builds a hierarchy, resolving the low-voltage organization of each L1 from the
-    /// provided fault maps.
+    /// provided fault maps. The L2 is built fault free; use
+    /// [`CacheHierarchy::with_all_fault_maps`] when the L2 carries a
+    /// fault-dependent repair scheme.
     ///
     /// # Errors
     ///
@@ -212,14 +300,55 @@ impl CacheHierarchy {
         l1i_faults: Option<&FaultMap>,
         l1d_faults: Option<&FaultMap>,
     ) -> Result<Self, DisableError> {
+        Self::with_all_fault_maps(config, l1i_faults, l1d_faults, None)
+    }
+
+    /// Builds a hierarchy, resolving the low-voltage organization of each L1 *and*
+    /// of the unified L2 from the provided fault maps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DisableError`] if a required fault map is missing or inconsistent,
+    /// or if a scheme cannot repair its map at all (whole-cache failure).
+    pub fn with_all_fault_maps(
+        config: HierarchyConfig,
+        l1i_faults: Option<&FaultMap>,
+        l1d_faults: Option<&FaultMap>,
+        l2_faults: Option<&FaultMap>,
+    ) -> Result<Self, DisableError> {
         let l1i_eff = config.l1i.effective_organization(config.voltage, l1i_faults)?;
         let l1d_eff = config.l1d.effective_organization(config.voltage, l1d_faults)?;
+        let l2 = Self::resolve_l2(&config, l2_faults)?;
         Ok(Self {
             config,
             l1i: L1Side::build(&l1i_eff),
             l1d: L1Side::build(&l1d_eff),
-            l2: SetAssocCache::new(config.l2_geometry),
+            l2,
+            l2_hit_latency: config.l2_hit_latency(),
             memory_accesses: 0,
+            writebacks: 0,
+            memory_writebacks: 0,
+        })
+    }
+
+    /// Resolves the L2's effective organization for the configured scheme, voltage
+    /// and fault map — the L2 counterpart of [`L1Config::effective_organization`].
+    fn resolve_l2(
+        config: &HierarchyConfig,
+        l2_faults: Option<&FaultMap>,
+    ) -> Result<SetAssocCache, DisableError> {
+        let repair = config.l2_scheme.repair();
+        if config.voltage == VoltageMode::High || !repair.needs_fault_map() {
+            return Ok(SetAssocCache::new(config.l2_geometry));
+        }
+        let map = l2_faults.ok_or(DisableError::MissingFaultMap)?;
+        if map.geometry() != &config.l2_geometry {
+            return Err(DisableError::GeometryMismatch);
+        }
+        let resolved = repair.repair(map)?;
+        Ok(match &resolved.disabled {
+            Some(mask) => SetAssocCache::with_disabled_ways(resolved.geometry, mask),
+            None => SetAssocCache::new(resolved.geometry),
         })
     }
 
@@ -235,7 +364,9 @@ impl CacheHierarchy {
             &mut self.l1i,
             &mut self.l2,
             &mut self.memory_accesses,
-            self.config.l2_latency,
+            &mut self.writebacks,
+            &mut self.memory_writebacks,
+            self.l2_hit_latency,
             self.config.memory_latency,
             addr,
             false,
@@ -248,46 +379,79 @@ impl CacheHierarchy {
             &mut self.l1d,
             &mut self.l2,
             &mut self.memory_accesses,
-            self.config.l2_latency,
+            &mut self.writebacks,
+            &mut self.memory_writebacks,
+            self.l2_hit_latency,
             self.config.memory_latency,
             addr,
             write,
         )
     }
 
+    /// Drains a dirty block the L1 side pushed out (or wrote through): it is
+    /// written back into the L2 if its line is still resident there, and to
+    /// memory otherwise.
+    fn drain_writeback(
+        l2: &mut SetAssocCache,
+        writebacks: &mut u64,
+        memory_writebacks: &mut u64,
+        dirty_victim: Option<u64>,
+    ) {
+        if let Some(addr) = dirty_victim {
+            *writebacks += 1;
+            if !l2.mark_dirty(addr) {
+                *memory_writebacks += 1;
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // split borrows of the hierarchy's fields
     fn access_side(
         l1: &mut L1Side,
         l2: &mut SetAssocCache,
         memory_accesses: &mut u64,
+        writebacks: &mut u64,
+        memory_writebacks: &mut u64,
         l2_latency: u32,
         memory_latency: u32,
         addr: u64,
         write: bool,
     ) -> AccessResult {
-        let (latency, served) = l1.access(addr, write);
+        let (latency, served, dirty_victim) = l1.access(addr, write);
+        Self::drain_writeback(l2, writebacks, memory_writebacks, dirty_victim);
         if let Some(level) = served {
             return AccessResult { latency, level };
         }
-        // L1 (and victim) missed: go to the L2.
+        // L1 (and victim) missed: go to the L2. A dirty block the L2 fill evicts
+        // drains to memory (the L2 is the last cache level).
         let l2_outcome = l2.access(addr, false);
-        if l2_outcome.hit {
-            let total = latency + l2_latency;
-            if l1.was_bypassed(addr) {
-                l1.fill_bypassed(addr, write);
-            }
-            return AccessResult {
-                latency: total,
-                level: HitLevel::L2,
-            };
+        if l2_outcome.evicted_dirty {
+            *memory_writebacks += 1;
         }
-        *memory_accesses += 1;
-        let total = latency + l2_latency + memory_latency;
+        let level = if l2_outcome.hit {
+            HitLevel::L2
+        } else {
+            *memory_accesses += 1;
+            HitLevel::Memory
+        };
+        let total = match level {
+            HitLevel::L2 => latency + l2_latency,
+            _ => latency + l2_latency + memory_latency,
+        };
         if l1.was_bypassed(addr) {
-            l1.fill_bypassed(addr, write);
+            if l1.has_victim() {
+                let displaced = l1.fill_bypassed(addr, write);
+                Self::drain_writeback(l2, writebacks, memory_writebacks, displaced);
+            } else if write {
+                // The store's block cannot be cached anywhere on the L1 side:
+                // its data writes through to the L2 (or memory) immediately, so
+                // the modified state is never silently dropped.
+                Self::drain_writeback(l2, writebacks, memory_writebacks, Some(addr));
+            }
         }
         AccessResult {
             latency: total,
-            level: HitLevel::Memory,
+            level,
         }
     }
 
@@ -311,6 +475,8 @@ impl CacheHierarchy {
                 .unwrap_or_default(),
             l2: *self.l2.stats(),
             memory_accesses: self.memory_accesses,
+            writebacks: self.writebacks,
+            memory_writebacks: self.memory_writebacks,
         }
     }
 
@@ -326,6 +492,8 @@ impl CacheHierarchy {
         }
         self.l2.reset_stats();
         self.memory_accesses = 0;
+        self.writebacks = 0;
+        self.memory_writebacks = 0;
     }
 
     /// Usable data-side L1 blocks (after block-disabling), useful for reporting.
@@ -338,6 +506,18 @@ impl CacheHierarchy {
     #[must_use]
     pub fn l1d_hit_latency(&self) -> u32 {
         self.l1d.hit_latency
+    }
+
+    /// Usable L2 blocks after the L2 scheme's repair, useful for reporting.
+    #[must_use]
+    pub fn l2_usable_blocks(&self) -> u64 {
+        self.l2.usable_blocks()
+    }
+
+    /// L2 hit latency in cycles (includes the L2 scheme's overhead).
+    #[must_use]
+    pub fn l2_hit_latency(&self) -> u32 {
+        self.l2_hit_latency
     }
 }
 
@@ -460,6 +640,211 @@ mod tests {
         assert_eq!(s.memory_accesses, 0);
         // Contents survive the reset.
         assert_eq!(h.access_data(0x40, false).level, HitLevel::L1);
+    }
+
+    /// Addresses that all map to L1 set 0 (and distinct tags).
+    fn l1_set0_addrs(n: u64) -> Vec<u64> {
+        let geom = CacheGeometry::ispass2010_l1();
+        let set_stride = geom.sets() * geom.block_bytes();
+        (1..=n).map(|i| i * set_stride).collect()
+    }
+
+    #[test]
+    fn victim_cache_round_trip_preserves_the_dirty_bit() {
+        // Write a block, evict it into the victim cache, pull it back via a victim
+        // hit, then evict it again *without* writing: the write-back obligation
+        // acquired before the first eviction must survive the round trip.
+        let cfg = HierarchyConfig::ispass2010(DisablingScheme::Baseline, VoltageMode::High)
+            .with_victim_caches(VictimCacheConfig::ispass2010_10t());
+        let mut h = CacheHierarchy::new(cfg);
+        let addrs = l1_set0_addrs(9);
+        h.access_data(addrs[0], true); // dirty
+        for &a in &addrs[1..] {
+            h.access_data(a, false); // evicts addrs[0] (dirty) into the victim cache
+        }
+        let back = h.access_data(addrs[0], false);
+        assert_eq!(back.level, HitLevel::Victim);
+        // Evict addrs[0] again by refilling the set with clean blocks: its dirty
+        // bit must have followed it out of the victim cache, so the eventual
+        // departure from the L1 side is an accounted write-back.
+        let before = h.stats().writebacks;
+        for i in 10..40u64 {
+            h.access_data(i * 64 * 64, false);
+        }
+        assert!(
+            h.stats().writebacks > before,
+            "the round-tripped dirty block lost its write-back obligation"
+        );
+    }
+
+    #[test]
+    fn bypassed_victim_reinsertion_keeps_prior_dirty_state() {
+        // Every L1 block disabled: blocks live only in the victim cache. A block
+        // stored once must keep its dirty bit across take/re-insert cycles on the
+        // bypassed path, and surface as a write-back when finally displaced.
+        let geom = CacheGeometry::ispass2010_l1();
+        let cfg = HierarchyConfig::ispass2010(DisablingScheme::BlockDisabling, VoltageMode::Low)
+            .with_victim_caches(VictimCacheConfig::ispass2010_10t());
+        let all_faulty = FaultMap::generate(&geom, 1.0, 0);
+        let mut h =
+            CacheHierarchy::with_fault_maps(cfg, Some(&all_faulty), Some(&all_faulty)).unwrap();
+        h.access_data(0x40, true); // miss -> fill_bypassed stores it dirty
+        let second = h.access_data(0x40, false); // victim hit, re-inserted (bypassed path)
+        assert_eq!(second.level, HitLevel::Victim);
+        assert_eq!(h.stats().writebacks, 0);
+        // Displace the whole victim cache with clean blocks; the dirty block must
+        // leave through the write-back path exactly once.
+        for i in 1..=16u64 {
+            h.access_data(0x100_0000 + i * 64, false);
+        }
+        assert_eq!(h.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn bypassed_stores_without_a_victim_cache_write_through() {
+        // Every L1 block disabled and no victim cache: a store cannot be cached
+        // anywhere on the L1 side, so its data must write through to the L2
+        // (counted), while loads owe nothing.
+        let geom = CacheGeometry::ispass2010_l1();
+        let cfg = HierarchyConfig::ispass2010(DisablingScheme::BlockDisabling, VoltageMode::Low);
+        let all_faulty = FaultMap::generate(&geom, 1.0, 0);
+        let mut h =
+            CacheHierarchy::with_fault_maps(cfg, Some(&all_faulty), Some(&all_faulty)).unwrap();
+        h.access_data(0x40, false);
+        assert_eq!(h.stats().writebacks, 0, "loads never write through");
+        h.access_data(0x40, true);
+        let s = h.stats();
+        assert_eq!(s.writebacks, 1);
+        // The demand miss allocated the line in the (perfect) L2, so the
+        // write-through landed there, not in memory.
+        assert_eq!(s.memory_writebacks, 0);
+    }
+
+    #[test]
+    fn uncovered_dirty_evictions_write_back_into_the_l2() {
+        // No victim cache: a dirty block evicted from the L1 must mark its L2 line
+        // dirty (counted as a write-back) instead of vanishing.
+        let mut h = CacheHierarchy::new(HierarchyConfig::ispass2010_baseline_high_voltage());
+        let addrs = l1_set0_addrs(9);
+        h.access_data(addrs[0], true); // dirty
+        for &a in &addrs[1..] {
+            h.access_data(a, false); // the last fill evicts dirty addrs[0]
+        }
+        let s = h.stats();
+        assert_eq!(s.writebacks, 1);
+        assert_eq!(
+            s.memory_writebacks, 0,
+            "the block is still resident in the L2, so nothing reached memory"
+        );
+        // Clean evictions never count.
+        let mut clean = CacheHierarchy::new(HierarchyConfig::ispass2010_baseline_high_voltage());
+        for &a in &l1_set0_addrs(9) {
+            clean.access_data(a, false);
+        }
+        assert_eq!(clean.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn writebacks_missing_the_l2_drain_to_memory() {
+        // A fully faulty block-disabled L2 bypasses every fill, so a dirty L1
+        // eviction finds no L2 line and must be accounted as a memory write-back.
+        let l2_geom = CacheGeometry::ispass2010_l2();
+        let cfg = HierarchyConfig::ispass2010(DisablingScheme::BlockDisabling, VoltageMode::Low)
+            .with_l2_scheme(DisablingScheme::BlockDisabling);
+        let l1_map = FaultMap::generate(&CacheGeometry::ispass2010_l1(), 0.0, 1);
+        let l2_map = FaultMap::generate(&l2_geom, 1.0, 2);
+        let mut h =
+            CacheHierarchy::with_all_fault_maps(cfg, Some(&l1_map), Some(&l1_map), Some(&l2_map))
+                .unwrap();
+        assert_eq!(h.l2_usable_blocks(), 0);
+        let addrs = l1_set0_addrs(9);
+        h.access_data(addrs[0], true);
+        for &a in &addrs[1..] {
+            h.access_data(a, false);
+        }
+        let s = h.stats();
+        assert_eq!(s.writebacks, 1);
+        assert_eq!(s.memory_writebacks, 1);
+    }
+
+    #[test]
+    fn stats_writeback_counters_accumulate_and_reset() {
+        let mut h = CacheHierarchy::new(HierarchyConfig::ispass2010_baseline_high_voltage());
+        for round in 0..3u64 {
+            for &a in &l1_set0_addrs(9) {
+                h.access_data(a, round == 0 || a % 128 == 0);
+            }
+        }
+        let s = h.stats();
+        assert!(s.writebacks > 0);
+        assert!(s.memory_writebacks <= s.writebacks + s.l2.evictions);
+        h.reset_stats();
+        let r = h.stats();
+        assert_eq!((r.writebacks, r.memory_writebacks), (0, 0));
+    }
+
+    #[test]
+    fn perfect_l2_is_the_default_and_matches_the_legacy_constructor() {
+        // The default configuration carries the idealized baseline L2, and the
+        // three constructors agree bit for bit on the access stream.
+        let cfg = HierarchyConfig::ispass2010(DisablingScheme::BlockDisabling, VoltageMode::Low);
+        assert_eq!(cfg.l2_scheme, DisablingScheme::Baseline);
+        assert_eq!(cfg.l2_hit_latency(), HierarchyConfig::L2_LATENCY);
+        let geom = CacheGeometry::ispass2010_l1();
+        let mi = FaultMap::generate(&geom, 0.001, 1);
+        let md = FaultMap::generate(&geom, 0.001, 2);
+        let stray_l2_map = FaultMap::generate(&CacheGeometry::ispass2010_l2(), 0.001, 3);
+        let mut a = CacheHierarchy::with_fault_maps(cfg, Some(&mi), Some(&md)).unwrap();
+        // A baseline L2 ignores any provided map, like the baseline L1 does.
+        let mut b =
+            CacheHierarchy::with_all_fault_maps(cfg, Some(&mi), Some(&md), Some(&stray_l2_map))
+                .unwrap();
+        for i in 0..20_000u64 {
+            let addr = (i * 97) % (1 << 22);
+            assert_eq!(a.access_data(addr, i % 5 == 0), b.access_data(addr, i % 5 == 0));
+        }
+        assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn faulty_l2_loses_capacity_and_pays_the_scheme_latency() {
+        let l2_geom = CacheGeometry::ispass2010_l2();
+        let l2_map = FaultMap::generate(&l2_geom, 0.001, 9);
+        let cfg = HierarchyConfig::ispass2010(DisablingScheme::Baseline, VoltageMode::Low)
+            .with_l2_scheme(DisablingScheme::BitFix);
+        // A fault-dependent L2 scheme requires an L2 map at low voltage.
+        assert_eq!(
+            CacheHierarchy::with_all_fault_maps(cfg, None, None, None).unwrap_err(),
+            DisableError::MissingFaultMap
+        );
+        let mut h = CacheHierarchy::with_all_fault_maps(cfg, None, None, Some(&l2_map)).unwrap();
+        assert!(h.l2_usable_blocks() < l2_geom.blocks());
+        // Bit-fix charges its two fix-pipeline cycles on L2 hits below Vcc-min.
+        assert_eq!(h.l2_hit_latency(), HierarchyConfig::L2_LATENCY + 2);
+        h.access_data(0x40_0000, false);
+        h.access_instr(0x40_0000);
+        let r = h.access_instr(0x40_0000 + 64 * 64); // same L2 block? no: different set
+        assert!(r.latency >= 3);
+
+        // A word-disabled L2 presents the halved organization.
+        let wd = HierarchyConfig::ispass2010(DisablingScheme::Baseline, VoltageMode::Low)
+            .with_l2_scheme(DisablingScheme::WordDisabling);
+        let usable_map = FaultMap::generate(&l2_geom, 0.0001, 4);
+        let wd_h =
+            CacheHierarchy::with_all_fault_maps(wd, None, None, Some(&usable_map)).unwrap();
+        assert_eq!(wd_h.l2_usable_blocks(), l2_geom.blocks() / 2);
+        assert_eq!(wd_h.l2_hit_latency(), HierarchyConfig::L2_LATENCY + 1);
+    }
+
+    #[test]
+    fn mismatched_l2_fault_map_is_rejected() {
+        let cfg = HierarchyConfig::ispass2010(DisablingScheme::Baseline, VoltageMode::Low)
+            .with_l2_scheme(DisablingScheme::BlockDisabling);
+        let l1_shaped = FaultMap::generate(&CacheGeometry::ispass2010_l1(), 0.001, 0);
+        assert_eq!(
+            CacheHierarchy::with_all_fault_maps(cfg, None, None, Some(&l1_shaped)).unwrap_err(),
+            DisableError::GeometryMismatch
+        );
     }
 
     #[test]

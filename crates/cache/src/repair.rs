@@ -152,6 +152,16 @@ pub trait RepairScheme: std::fmt::Debug + Send + Sync {
     /// given voltage mode.
     fn extra_latency(&self, mode: VoltageMode) -> u32;
 
+    /// Extra hit latency (cycles) the repair hardware adds in front of the
+    /// unified L2 in the given voltage mode. The repair datapath (disable
+    /// lookup, alignment network, fix/realign pipeline) has the same depth
+    /// regardless of the array behind it, so the default matches
+    /// [`RepairScheme::extra_latency`]; schemes whose L2 organization differs
+    /// from their L1 one can override this.
+    fn extra_l2_latency(&self, mode: VoltageMode) -> u32 {
+        self.extra_latency(mode)
+    }
+
     /// Whether the scheme needs a fault map to operate at low voltage.
     fn needs_fault_map(&self) -> bool {
         true
@@ -683,6 +693,41 @@ mod tests {
         assert!((0.49..=0.5).contains(&word));
         assert!(bitfix > block);
         assert!(ws <= block && ws > word);
+    }
+
+    #[test]
+    fn every_scheme_resolves_an_effective_l2_organization() {
+        // The repair machinery is array-agnostic: the same registry entries
+        // that repair the 32 KB L1 resolve the 2 MB unified L2.
+        let l2 = CacheGeometry::ispass2010_l2();
+        let map = FaultMap::generate(&l2, 0.001, 17);
+        for scheme in registry() {
+            let resolved = scheme
+                .repair(&map)
+                .unwrap_or_else(|e| panic!("{} cannot repair the L2: {e}", scheme.name()));
+            assert!(resolved.usable_blocks() > 0, "{} kept nothing", scheme.name());
+            let cap = scheme.effective_capacity(&map).unwrap();
+            assert!((0.0..=1.0).contains(&cap));
+            // The closed-form expectation applies to the L2 geometry too.
+            let expected = scheme.expected_capacity(&l2, 0.001);
+            assert!((0.0..=1.0).contains(&expected), "{}: {expected}", scheme.name());
+        }
+        // Word-disabling halves the L2 exactly like the L1.
+        let halved = WordDisablingScheme.repair(&map).unwrap();
+        assert_eq!(halved.geometry.size_bytes(), 1024 * 1024);
+        assert_eq!(halved.geometry.associativity(), 4);
+    }
+
+    #[test]
+    fn l2_latency_penalties_default_to_the_l1_repair_pipeline_depth() {
+        for scheme in registry() {
+            for mode in [VoltageMode::High, VoltageMode::Low] {
+                assert_eq!(scheme.extra_l2_latency(mode), scheme.extra_latency(mode));
+            }
+        }
+        assert_eq!(BitFixScheme.extra_l2_latency(VoltageMode::Low), 2);
+        assert_eq!(WordDisablingScheme.extra_l2_latency(VoltageMode::High), 1);
+        assert_eq!(BlockDisablingScheme.extra_l2_latency(VoltageMode::Low), 0);
     }
 
     #[test]

@@ -268,6 +268,24 @@ impl SetAssocCache {
         outcome
     }
 
+    /// Marks the block containing `addr` dirty if it is resident, returning whether
+    /// it was. This is the write-back entry point used when a dirty block drains
+    /// from an upper level into this cache: it touches neither the LRU state nor
+    /// the access statistics, so write-back traffic never perturbs the demand
+    /// hit/miss stream.
+    pub fn mark_dirty(&mut self, addr: u64) -> bool {
+        let set = self.geometry.set_of(addr);
+        let tag = self.geometry.tag_of(addr);
+        for w in 0..self.geometry.associativity() {
+            let way = self.way_mut(set, w);
+            if way.usable && way.valid && way.tag == tag {
+                way.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
     /// Invalidates the block containing `addr` if present, returning whether it was
     /// present and dirty.
     pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
@@ -388,6 +406,23 @@ mod tests {
         assert_eq!(c.stats().accesses, 0);
         assert!(c.probe(0x1000));
         assert_eq!(c.resident_blocks(), 1);
+    }
+
+    #[test]
+    fn mark_dirty_flips_only_the_dirty_bit() {
+        let mut c = small_cache();
+        let a = addr(0, 1);
+        let b = addr(0, 2);
+        c.access(a, false);
+        c.access(b, false);
+        let stats_before = *c.stats();
+        assert!(c.mark_dirty(a));
+        assert!(!c.mark_dirty(addr(0, 9)), "absent blocks cannot be marked");
+        assert_eq!(c.stats(), &stats_before, "write-backs never count as accesses");
+        // `a` was *not* LRU-refreshed by mark_dirty: filling the set still evicts it.
+        let out = c.access(addr(0, 3), false);
+        assert_eq!(out.evicted, Some(a));
+        assert!(out.evicted_dirty, "the write-back made the block dirty");
     }
 
     #[test]

@@ -63,6 +63,13 @@ pub struct HierarchyStats {
     pub l2: CacheStats,
     /// Number of accesses that went all the way to memory.
     pub memory_accesses: u64,
+    /// Dirty data leaving the L1 side toward the L2: uncovered dirty
+    /// evictions, dirty blocks displaced out of a victim cache, and stores
+    /// written through because their set had no usable way to allocate.
+    pub writebacks: u64,
+    /// Dirty data that reached main memory: L1-side write-backs whose block was
+    /// no longer resident in the L2, plus dirty blocks evicted from the L2.
+    pub memory_writebacks: u64,
 }
 
 #[cfg(test)]

@@ -82,8 +82,9 @@ pub use vccmin_cache::{CacheHierarchy, DisablingScheme, HierarchyConfig, Voltage
 pub use vccmin_cpu::{CpuConfig, Pipeline, SimResult};
 pub use vccmin_cache::{RepairScheme, WayDisableMask};
 pub use vccmin_experiments::{
-    GovernedRun, GovernorPolicy, GovernorStudy, LowVoltageStudy, OverheadTable, SchemeConfig,
-    SchemeMatrixStudy, SimulationParams, TransitionCostModel, YieldParams, YieldStudy,
+    GovernedRun, GovernorPolicy, GovernorStudy, L2Protection, LowVoltageStudy, OverheadTable,
+    SchemeConfig, SchemeMatrixStudy, SimulationParams, TransitionCostModel, YieldParams,
+    YieldStudy,
 };
 pub use vccmin_fault::{CacheGeometry, DieVariation, FaultMap, PfailVoltageModel, VariationModel};
 pub use vccmin_workloads::{Benchmark, PhaseSchedule, TraceGenerator, WorkloadPhase};

@@ -118,8 +118,11 @@ impl Pipeline {
     pub fn drain_cycles(&self) -> u64 {
         let cfg = &self.config;
         let rob_drain = (cfg.rob_entries as u64).div_ceil(u64::from(cfg.commit_width.max(1)));
+        // The L2 hit latency includes any repair-scheme overhead, so a
+        // repair-protected L2 stretches the drain bound like it stretches the
+        // in-flight accesses it covers.
         let worst_memory_access = u64::from(
-            self.hierarchy.config().l2_latency + self.hierarchy.config().memory_latency,
+            self.hierarchy.l2_hit_latency() + self.hierarchy.config().memory_latency,
         );
         u64::from(cfg.front_end_depth) + rob_drain + worst_memory_access
     }

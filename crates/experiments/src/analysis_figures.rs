@@ -156,6 +156,35 @@ pub fn scheme_capacity_figure(steps: usize) -> FigureTable {
     table
 }
 
+/// The L2 companion of [`scheme_capacity_figure`]: expected low-voltage
+/// capacity of every registry scheme over the paper's 2 MB unified L2. The
+/// closed forms are the same — only the array geometry (32768 blocks of 531
+/// cells) changes — which is exactly the point: every cache in the hierarchy
+/// limits Vcc-min, and the analytical models quantify the L2's share.
+#[must_use]
+pub fn l2_scheme_capacity_figure(steps: usize) -> FigureTable {
+    assert!(steps >= 2, "a sweep needs at least two points");
+    let geom = CacheGeometry::ispass2010_l2();
+    let schemes = repair::registry();
+    let mut table = FigureTable::new(
+        "L2 scheme capacity: expected capacity below Vcc-min vs pfail (2MB, 8-way)",
+        "pfail",
+        schemes.iter().map(|s| s.label().into()).collect(),
+    );
+    let max_pfail = 0.005;
+    for i in 0..steps {
+        let pfail = max_pfail * i as f64 / (steps - 1) as f64;
+        table.push_row(
+            format!("{pfail:.5}"),
+            schemes
+                .iter()
+                .map(|s| s.expected_capacity(&geom, pfail))
+                .collect(),
+        );
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -204,6 +233,30 @@ mod tests {
                 "{key}: bit-fix ({bitfix}) >= block ({block}) >= way-sacrifice ({ws})"
             );
             for v in values {
+                assert!((0.0..=1.0).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn l2_scheme_capacity_tracks_the_l1_shape_but_not_its_values() {
+        let l1 = scheme_capacity_figure(21);
+        let l2 = l2_scheme_capacity_figure(21);
+        assert_eq!(l2.rows.len(), 21);
+        assert_eq!(l2.series_labels, l1.series_labels);
+        for ((key, l2_values), (_, l1_values)) in l2.rows.iter().zip(&l1.rows) {
+            let (baseline, block, word, bitfix, ws) =
+                (l2_values[0], l2_values[1], l2_values[2], l2_values[3], l2_values[4]);
+            assert_eq!(baseline, 1.0);
+            assert!(bitfix >= block && block >= ws, "{key}: ordering violated");
+            // The L2's slightly smaller per-block cell count (531 vs 537: an
+            // 18-bit tag instead of 24) keeps marginally more blocks alive
+            // under block-disabling at any pfail.
+            assert!(l2_values[1] >= l1_values[1] - 1e-12, "{key}");
+            // Word-disabling's whole-cache failure is far likelier over 64x
+            // more blocks, so its expected capacity can only be lower.
+            assert!(word <= l1_values[2] + 1e-12, "{key}");
+            for v in l2_values {
                 assert!((0.0..=1.0).contains(v));
             }
         }

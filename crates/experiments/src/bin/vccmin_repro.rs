@@ -6,7 +6,7 @@
 //! default (override with `--instructions` and `--pairs`).
 //!
 //! ```text
-//! vccmin-repro <target> [--scheme S] [--instructions N] [--pairs K] [--dies D] [--seed S] [--pfail P] [--smoke] [--csv] [--serial] [--out PATH]
+//! vccmin-repro <target> [--scheme S] [--l2-scheme L] [--instructions N] [--pairs K] [--dies D] [--seed S] [--pfail P] [--smoke] [--csv] [--serial] [--out PATH]
 //!     target: fig1 fig3 fig4 fig5 fig6 fig7 table1 fig8 fig9 fig10 fig11 fig12
 //!             analysis (figs 1,3-7 + table1)   lowvolt (figs 8-10)
 //!             highvolt (figs 11-12)            schemes (repair-scheme matrix)
@@ -16,6 +16,17 @@
 //!     --scheme: restrict the `schemes` campaign to one repair scheme
 //!               (baseline | block-disable | word-disable | bit-fix | way-sacrifice);
 //!               implies the `schemes` target when no target is given
+//!     --l2-scheme: how the unified L2 is protected below Vcc-min
+//!               (perfect-l2 | matched | baseline | block-disable | word-disable |
+//!               bit-fix | way-sacrifice); the default `perfect-l2` reproduces the
+//!               paper's fault-free L2 bit for bit, `matched` gives the L2 the same
+//!               scheme as the L1s under test, and a scheme name fixes it for every
+//!               configuration. Applies to the simulation campaigns (schemes,
+//!               lowvolt, highvolt, governor, figs 8-12); for `yield` — whose
+//!               scheme axis is the registry itself, matched on both arrays —
+//!               `matched` or a fault-dependent scheme name adds the L2 capacity
+//!               floor to the per-die pass criterion (`baseline` stays fault free,
+//!               like everywhere else)
 //!     --dies:   die population size of the `yield` study
 //!     --smoke:  start from the smoke-test campaign scale (4 benchmarks, tiny
 //!               traces; 24 dies for `yield`) instead of the quick() scale;
@@ -39,7 +50,7 @@ use vccmin_experiments::simulation::{
     GovernorStudy, HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy, SimulationParams,
 };
 use vccmin_experiments::yield_study::{YieldParams, YieldStudy};
-use vccmin_experiments::{OverheadTable, SchemeConfig};
+use vccmin_experiments::{L2Protection, OverheadTable, SchemeConfig};
 use vccmin_cache::DisablingScheme;
 
 struct Options {
@@ -62,6 +73,7 @@ fn parse_args() -> Result<Options, String> {
         _ => args.next().ok_or_else(usage)?,
     };
     let mut scheme = None;
+    let mut l2: Option<L2Protection> = None;
     let mut csv = false;
     let mut serial = false;
     let mut smoke = false;
@@ -107,6 +119,17 @@ fn parse_args() -> Result<Options, String> {
                 })?;
                 scheme = Some(SchemeConfig::for_scheme(parsed));
             }
+            "--l2-scheme" => {
+                let v = args.next().ok_or("--l2-scheme needs a value")?;
+                l2 = Some(L2Protection::from_name(&v).ok_or_else(|| {
+                    format!(
+                        "unknown L2 protection {v}; expected {} | {} | {}",
+                        L2Protection::PERFECT_NAME,
+                        L2Protection::MATCHED_NAME,
+                        DisablingScheme::ALL.map(|s| s.name()).join(" | ")
+                    )
+                })?);
+            }
             "--csv" => csv = true,
             "--serial" => serial = true,
             "--smoke" => smoke = true,
@@ -130,6 +153,9 @@ fn parse_args() -> Result<Options, String> {
     if let Some(v) = pfail {
         params.pfail = v;
     }
+    if let Some(v) = l2 {
+        params.l2 = v;
+    }
     let mut yield_params = if smoke {
         YieldParams::smoke()
     } else {
@@ -138,12 +164,33 @@ fn parse_args() -> Result<Options, String> {
     if let Some(v) = dies {
         yield_params.dies = v;
     }
+    if let Some(v) = l2 {
+        // The yield study evaluates every registry scheme matched on both
+        // arrays, so the flag only switches the L2 floor on — and only for
+        // values that actually imply a faulty L2 (`baseline` is the fault-free
+        // L2 everywhere else, so it must stay equivalent to the default here).
+        yield_params.include_l2 = match v {
+            L2Protection::Perfect => false,
+            L2Protection::Matched => true,
+            L2Protection::Fixed(scheme) => scheme.repair().needs_fault_map(),
+        };
+    }
     if let Some(v) = seed {
         yield_params.master_seed = v;
     }
     if scheme.is_some() && target != "schemes" {
         return Err(format!(
             "--scheme only applies to the `schemes` target\n{}",
+            usage()
+        ));
+    }
+    let l2_targets = [
+        "schemes", "lowvolt", "highvolt", "governor", "yield", "all", "fig8", "fig9", "fig10",
+        "fig11", "fig12",
+    ];
+    if l2.is_some() && !l2_targets.contains(&target.as_str()) {
+        return Err(format!(
+            "--l2-scheme only applies to the simulation campaigns and `yield`\n{}",
             usage()
         ));
     }
@@ -165,7 +212,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: vccmin-repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|analysis|lowvolt|highvolt|schemes|governor|yield|all> [--scheme baseline|block-disable|word-disable|bit-fix|way-sacrifice] [--instructions N] [--pairs K] [--dies D] [--seed S] [--pfail P] [--smoke] [--csv] [--serial] [--out PATH]".to_string()
+    "usage: vccmin-repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|analysis|lowvolt|highvolt|schemes|governor|yield|all> [--scheme baseline|block-disable|word-disable|bit-fix|way-sacrifice] [--l2-scheme perfect-l2|matched|<scheme>] [--instructions N] [--pairs K] [--dies D] [--seed S] [--pfail P] [--smoke] [--csv] [--serial] [--out PATH]".to_string()
 }
 
 fn emit(out: &mut dyn Write, table: &FigureTable, csv: bool) {
@@ -211,6 +258,7 @@ fn run_analysis(out: &mut dyn Write, csv: bool) {
     emit(out, &af::figure6(af::DEFAULT_STEPS), csv);
     emit(out, &af::figure7(af::DEFAULT_STEPS), csv);
     emit(out, &af::scheme_capacity_figure(af::DEFAULT_STEPS), csv);
+    emit(out, &af::l2_scheme_capacity_figure(af::DEFAULT_STEPS), csv);
     print_table1(out);
 }
 
@@ -264,10 +312,11 @@ fn run_schemes(
         None => "full scheme matrix".to_string(),
     };
     eprintln!(
-        "running {described}: {} benchmarks x {} fault-map pairs x {} instructions ({})",
+        "running {described}: {} benchmarks x {} fault-map pairs x {} instructions, L2 {} ({})",
         params.benchmarks.len(),
         params.fault_map_pairs,
         params.instructions,
+        params.l2,
         executor_label(serial),
     );
     let study = match scheme {

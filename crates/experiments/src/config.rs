@@ -114,7 +114,7 @@ impl SchemeConfig {
     }
 
     /// Builds the full hierarchy configuration of Table III for this scheme at the
-    /// given voltage.
+    /// given voltage (with the paper's perfect L2).
     #[must_use]
     pub fn hierarchy_config(self, voltage: VoltageMode) -> HierarchyConfig {
         let base = HierarchyConfig::ispass2010(self.scheme(), voltage);
@@ -123,11 +123,89 @@ impl SchemeConfig {
             None => base,
         }
     }
+
+    /// [`SchemeConfig::hierarchy_config`] with the L2 protected per `l2`.
+    #[must_use]
+    pub fn hierarchy_config_with_l2(self, voltage: VoltageMode, l2: L2Protection) -> HierarchyConfig {
+        self.hierarchy_config(voltage).with_l2_scheme(l2.scheme_for(self))
+    }
 }
 
 impl std::fmt::Display for SchemeConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// How the unified L2 is protected below Vcc-min — the L2-faulty axis of the
+/// simulation campaigns (`vccmin-repro --l2-scheme`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum L2Protection {
+    /// The paper's implicit assumption: the L2 stays reliable below Vcc-min
+    /// (10T cells or a separate voltage rail), so it is fault free at any
+    /// supply. This is the default and reproduces the original memory system
+    /// bit for bit.
+    #[default]
+    Perfect,
+    /// The L2 carries the same repair scheme as the L1s of the configuration
+    /// under test — each row of the scheme matrix protects the whole
+    /// hierarchy with its own mechanism.
+    Matched,
+    /// The L2 carries one fixed repair scheme, independent of the L1
+    /// configuration.
+    Fixed(DisablingScheme),
+}
+
+impl L2Protection {
+    /// The stable name of the default, fault-free choice.
+    pub const PERFECT_NAME: &'static str = "perfect-l2";
+    /// The stable name of the matched choice.
+    pub const MATCHED_NAME: &'static str = "matched";
+
+    /// The concrete L2 scheme for one cache configuration under test.
+    #[must_use]
+    pub fn scheme_for(self, config: SchemeConfig) -> DisablingScheme {
+        match self {
+            Self::Perfect => DisablingScheme::Baseline,
+            Self::Matched => config.scheme(),
+            Self::Fixed(scheme) => scheme,
+        }
+    }
+
+    /// Whether any of `configs` needs an L2 fault map below Vcc-min under this
+    /// protection.
+    #[must_use]
+    pub fn needs_fault_maps(self, configs: &[SchemeConfig]) -> bool {
+        configs
+            .iter()
+            .any(|&c| self.scheme_for(c).repair().needs_fault_map())
+    }
+
+    /// Parses the `--l2-scheme` vocabulary: `perfect-l2`, `matched`, or any
+    /// stable repair-scheme name from the registry.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            Self::PERFECT_NAME => Some(Self::Perfect),
+            Self::MATCHED_NAME => Some(Self::Matched),
+            other => DisablingScheme::from_name(other).map(Self::Fixed),
+        }
+    }
+
+    /// Stable machine-readable name (the inverse of [`L2Protection::from_name`]).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Perfect => Self::PERFECT_NAME,
+            Self::Matched => Self::MATCHED_NAME,
+            Self::Fixed(scheme) => scheme.name(),
+        }
+    }
+}
+
+impl std::fmt::Display for L2Protection {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
     }
 }
 
@@ -182,6 +260,47 @@ mod tests {
     #[test]
     fn display_matches_label() {
         assert_eq!(SchemeConfig::BlockDisabling.to_string(), "block disabling");
+    }
+
+    #[test]
+    fn l2_protection_resolves_names_and_schemes() {
+        assert_eq!(L2Protection::default(), L2Protection::Perfect);
+        assert_eq!(L2Protection::from_name("perfect-l2"), Some(L2Protection::Perfect));
+        assert_eq!(L2Protection::from_name("matched"), Some(L2Protection::Matched));
+        assert_eq!(
+            L2Protection::from_name("bit-fix"),
+            Some(L2Protection::Fixed(DisablingScheme::BitFix))
+        );
+        assert!(L2Protection::from_name("no-such-l2").is_none());
+        for l2 in [
+            L2Protection::Perfect,
+            L2Protection::Matched,
+            L2Protection::Fixed(DisablingScheme::WordDisabling),
+        ] {
+            assert_eq!(L2Protection::from_name(l2.name()), Some(l2));
+            assert_eq!(l2.to_string(), l2.name());
+        }
+        // Perfect resolves to the fault-free baseline everywhere; matched follows
+        // the configuration under test.
+        for &config in &ALL_LOW_VOLTAGE_SCHEMES {
+            assert_eq!(L2Protection::Perfect.scheme_for(config), DisablingScheme::Baseline);
+            assert_eq!(L2Protection::Matched.scheme_for(config), config.scheme());
+        }
+        assert!(!L2Protection::Perfect.needs_fault_maps(&ALL_LOW_VOLTAGE_SCHEMES));
+        assert!(L2Protection::Matched.needs_fault_maps(&ALL_LOW_VOLTAGE_SCHEMES));
+        assert!(!L2Protection::Matched.needs_fault_maps(&[SchemeConfig::Baseline]));
+        assert!(L2Protection::Fixed(DisablingScheme::BlockDisabling)
+            .needs_fault_maps(&[SchemeConfig::Baseline]));
+    }
+
+    #[test]
+    fn hierarchy_config_with_l2_wires_the_scheme_through() {
+        let cfg = SchemeConfig::BlockDisabling
+            .hierarchy_config_with_l2(VoltageMode::Low, L2Protection::Matched);
+        assert_eq!(cfg.l2_scheme, DisablingScheme::BlockDisabling);
+        let perfect = SchemeConfig::BlockDisabling
+            .hierarchy_config_with_l2(VoltageMode::Low, L2Protection::Perfect);
+        assert_eq!(perfect, SchemeConfig::BlockDisabling.hierarchy_config(VoltageMode::Low));
     }
 
     #[test]

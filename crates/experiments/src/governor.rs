@@ -32,7 +32,7 @@ use vccmin_analysis::governor::{
     energy_delay_product, normalized_energy, normalized_time, ModeCycles,
 };
 use vccmin_analysis::voltage::VoltageScalingModel;
-use vccmin_cache::{CacheHierarchy, FaultMap, VoltageMode};
+use vccmin_cache::{CacheHierarchy, DisablingScheme, FaultMap, VoltageMode};
 use vccmin_cpu::{CpuConfig, Pipeline, SimResult};
 use vccmin_workloads::{Benchmark, PhaseSchedule, TraceGenerator, WorkloadPhase};
 
@@ -134,11 +134,19 @@ pub struct GovernedRunSpec<'a> {
     pub benchmark: Benchmark,
     /// Cache configuration governing both voltage modes.
     pub scheme: SchemeConfig,
+    /// Repair scheme protecting the unified L2 ([`DisablingScheme::Baseline`]
+    /// is the paper's perfect L2). A fault-dependent L2 scheme is repaired
+    /// from [`GovernedRunSpec::l2_map`] below Vcc-min and charged its own
+    /// reconfiguration cycles on every mode transition.
+    pub l2_scheme: DisablingScheme,
     /// The mode-selection policy.
     pub policy: &'a GovernorPolicy,
     /// Fault-map pair (instruction, data) used whenever the core is below
     /// Vcc-min; required there for fault-dependent schemes.
     pub maps: Option<&'a (FaultMap, FaultMap)>,
+    /// L2 fault map, required below Vcc-min when
+    /// [`GovernedRunSpec::l2_scheme`] is fault dependent.
+    pub l2_map: Option<&'a FaultMap>,
     /// Trace seed (the same stream is replayed whatever the policy).
     pub trace_seed: u64,
     /// Instructions to execute across all segments.
@@ -283,20 +291,21 @@ impl GovernedRun {
     }
 }
 
-/// Builds the hierarchy for one segment, or `None` when the scheme cannot
-/// repair the fault-map pair below Vcc-min (whole-cache failure).
-fn build_hierarchy(
-    scheme: SchemeConfig,
-    mode: VoltageMode,
-    maps: Option<&(FaultMap, FaultMap)>,
-) -> Option<CacheHierarchy> {
-    let cfg = scheme.hierarchy_config(mode);
-    if mode == VoltageMode::Low && scheme.fault_dependent() {
-        let (map_i, map_d) = maps?;
-        CacheHierarchy::with_fault_maps(cfg, Some(map_i), Some(map_d)).ok()
-    } else {
-        Some(CacheHierarchy::new(cfg))
-    }
+/// Builds the hierarchy for one segment, or `None` when a scheme cannot repair
+/// its fault map below Vcc-min (whole-cache failure on the L1s or the L2), or
+/// a required map is missing.
+fn build_hierarchy(spec: &GovernedRunSpec<'_>, mode: VoltageMode) -> Option<CacheHierarchy> {
+    let cfg = spec
+        .scheme
+        .hierarchy_config(mode)
+        .with_l2_scheme(spec.l2_scheme);
+    let (map_i, map_d) = match spec.maps {
+        Some((i, d)) => (Some(i), Some(d)),
+        None => (None, None),
+    };
+    // `with_all_fault_maps` ignores the maps at high voltage and for
+    // fault-independent schemes, so one call covers every mode.
+    CacheHierarchy::with_all_fault_maps(cfg, map_i, map_d, spec.l2_map).ok()
 }
 
 /// Executes one governed run, or `None` when a below-Vcc-min segment is
@@ -328,7 +337,7 @@ pub fn run_governed(spec: &GovernedRunSpec<'_>) -> Option<GovernedRun> {
         if pipeline.is_none() {
             pipeline = Some(Pipeline::new(
                 CpuConfig::ispass2010(),
-                build_hierarchy(spec.scheme, mode, spec.maps)?,
+                build_hierarchy(spec, mode)?,
             ));
         }
         let pipe = pipeline.as_mut().expect("pipeline was just built");
@@ -352,12 +361,18 @@ pub fn run_governed(spec: &GovernedRunSpec<'_>) -> Option<GovernedRun> {
                 TransitionCostModel::Fixed(cycles) => cycles,
                 TransitionCostModel::Modeled => {
                     // Both L1s carry the scheme's per-set repair state, so
-                    // both are reconfigured on a transition.
+                    // both are reconfigured on a transition — and so is a
+                    // repair-protected L2 (a perfect L2 keeps no repair
+                    // state and reconfigures for free).
                     let cfg = spec.scheme.hierarchy_config(mode);
                     let repair = spec.scheme.scheme().repair();
                     pipe.drain_cycles()
                         + repair.reconfiguration_cycles(&cfg.l1i.geometry)
                         + repair.reconfiguration_cycles(&cfg.l1d.geometry)
+                        + spec
+                            .l2_scheme
+                            .repair()
+                            .reconfiguration_cycles(&cfg.l2_geometry)
                 }
             };
             match mode {
@@ -402,8 +417,10 @@ mod tests {
         GovernedRunSpec {
             benchmark: Benchmark::Gzip,
             scheme: SchemeConfig::BlockDisabling,
+            l2_scheme: DisablingScheme::Baseline,
             policy,
             maps,
+            l2_map: None,
             trace_seed: 42,
             instructions: 8_000,
             phases,
@@ -481,6 +498,33 @@ mod tests {
         // (64 sets each).
         assert_eq!(run.transition_cycles_nominal, 10 + 32 + 20 + 255 + 2 * 64);
         assert_eq!(run.transition_cycles_low, 0);
+    }
+
+    #[test]
+    fn modeled_cost_charges_l2_reconfiguration_when_the_l2_is_protected() {
+        let policy = GovernorPolicy::Interval {
+            nominal: 4_000,
+            low: 4_000,
+        };
+        let pair = maps(0.001, 9);
+        let l2_map = FaultMap::generate(&vccmin_cache::CacheGeometry::ispass2010_l2(), 0.001, 13);
+        let run = run_governed(&GovernedRunSpec {
+            l2_scheme: DisablingScheme::BlockDisabling,
+            l2_map: Some(&l2_map),
+            ..spec(&policy, Some(&pair), None, TransitionCostModel::Modeled)
+        })
+        .unwrap();
+        assert_eq!(run.transitions, 1);
+        // The perfect-L2 cost of `modeled_cost_combines_drain_and_reconfiguration`
+        // plus one reconfiguration step per L2 set (4096 sets, block-disabling).
+        assert_eq!(run.transition_cycles_nominal, 10 + 32 + 20 + 255 + 2 * 64 + 4096);
+        // A fault-dependent L2 scheme without a map cannot enter low voltage.
+        let no_l2_map = GovernedRunSpec {
+            l2_scheme: DisablingScheme::BlockDisabling,
+            l2_map: None,
+            ..spec(&policy, Some(&pair), None, TransitionCostModel::Modeled)
+        };
+        assert!(run_governed(&no_l2_map).is_none());
     }
 
     #[test]

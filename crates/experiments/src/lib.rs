@@ -8,7 +8,8 @@
 //! * [`overhead`] — the transistor-count comparison of Table I;
 //! * [`config`] — the named cache configurations of Table III (baseline,
 //!   word-disabling, block-disabling, with and without victim caches, at high and
-//!   low voltage);
+//!   low voltage), plus the [`L2Protection`](config::L2Protection) axis that puts
+//!   the unified L2 below Vcc-min (perfect, matched to the L1 scheme, or fixed);
 //! * [`simulation`] — the simulation campaigns behind Figs. 8–12 (every SPEC-like
 //!   benchmark, every configuration, multiple random fault-map pairs, reported as
 //!   mean and minimum normalized performance) plus the
@@ -51,7 +52,7 @@ pub mod report;
 pub mod simulation;
 pub mod yield_study;
 
-pub use config::{SchemeConfig, ALL_LOW_VOLTAGE_SCHEMES};
+pub use config::{L2Protection, SchemeConfig, ALL_LOW_VOLTAGE_SCHEMES};
 pub use governor::{
     run_governed, GovernedRun, GovernedRunSpec, GovernedSegment, GovernorMetrics, GovernorPolicy,
     TransitionCostModel,

@@ -6,6 +6,13 @@
 //! instruction cache, one for the data cache) and reported as the mean and minimum
 //! normalized performance — exactly how the paper presents its results (50 pairs at
 //! `pfail = 0.001`).
+//!
+//! Campaigns additionally carry an **L2-faulty axis**
+//! ([`SimulationParams::l2`], an [`L2Protection`]): with anything but the
+//! default perfect L2, each fault-map pair is extended by an L2 fault map
+//! (sampled from a seed fork of its own, so the L1 maps never change) and the
+//! chosen scheme's effective L2 organization — including whole-cache failure
+//! on the L2 — feeds the same accounting as the L1 schemes.
 
 use rayon::prelude::*;
 use vccmin_analysis::voltage::VoltageScalingModel;
@@ -16,7 +23,7 @@ use vccmin_cpu::{CpuConfig, Pipeline, SimResult};
 use vccmin_fault::SeedSequence;
 use vccmin_workloads::{Benchmark, PhaseSchedule, TraceGenerator};
 
-use crate::config::SchemeConfig;
+use crate::config::{L2Protection, SchemeConfig};
 use crate::governor::{
     run_governed, GovernedRun, GovernedRunSpec, GovernorMetrics, GovernorPolicy,
     TransitionCostModel,
@@ -37,6 +44,11 @@ pub struct SimulationParams {
     pub master_seed: u64,
     /// Benchmarks to simulate.
     pub benchmarks: Vec<Benchmark>,
+    /// How the unified L2 is protected below Vcc-min. The default
+    /// ([`L2Protection::Perfect`]) reproduces the paper's fault-free L2 bit
+    /// for bit; any other choice samples one L2 fault map per fault-map pair
+    /// and resolves the chosen scheme's effective L2 organization.
+    pub l2: L2Protection,
 }
 
 impl SimulationParams {
@@ -50,6 +62,7 @@ impl SimulationParams {
             pfail: 0.001,
             master_seed: 0x15_2A55_2010,
             benchmarks: Benchmark::all().to_vec(),
+            l2: L2Protection::Perfect,
         }
     }
 
@@ -68,6 +81,7 @@ impl SimulationParams {
                 Benchmark::Swim,
                 Benchmark::Gzip,
             ],
+            l2: L2Protection::Perfect,
         }
     }
 
@@ -81,6 +95,7 @@ impl SimulationParams {
             pfail: 0.001,
             master_seed: 2010,
             benchmarks: Benchmark::all().to_vec(),
+            l2: L2Protection::Perfect,
         }
     }
 
@@ -96,6 +111,17 @@ impl SimulationParams {
     #[must_use]
     pub fn derived_fault_map_pairs(&self) -> Vec<(FaultMap, FaultMap)> {
         fault_map_pairs(self)
+    }
+
+    /// The campaign's L2 fault maps, one per fault-map pair, derived from the
+    /// master seed through a fork of their own (so enabling the L2 axis never
+    /// changes the L1 maps). Empty when the L2 protection needs no maps.
+    #[must_use]
+    pub fn derived_l2_fault_maps(&self, schemes: &[SchemeConfig]) -> Vec<FaultMap> {
+        if !self.l2.needs_fault_maps(schemes) {
+            return Vec::new();
+        }
+        l2_fault_maps(self)
     }
 }
 
@@ -206,6 +232,17 @@ fn fault_map_pairs(params: &SimulationParams) -> Vec<(FaultMap, FaultMap)> {
         .collect()
 }
 
+/// Generates the campaign's L2 fault maps, one per fault-map pair, from a seed
+/// fork of their own: the L1 pairs are bit-identical whether or not the L2 axis
+/// is enabled.
+fn l2_fault_maps(params: &SimulationParams) -> Vec<FaultMap> {
+    let geom = CacheGeometry::ispass2010_l2();
+    let mut seeds = SeedSequence::new(params.master_seed).fork("l2-fault-maps");
+    (0..params.fault_map_pairs)
+        .map(|_| FaultMap::generate(&geom, params.pfail, seeds.next_seed()))
+        .collect()
+}
+
 /// Trace seed for a benchmark, derived from the master seed so every configuration
 /// of a benchmark replays the identical instruction stream.
 fn trace_seed(params: &SimulationParams, benchmark: Benchmark) -> u64 {
@@ -215,33 +252,44 @@ fn trace_seed(params: &SimulationParams, benchmark: Benchmark) -> u64 {
 }
 
 /// Simulates one fault-map pair for one (benchmark, configuration), or `None`
-/// when word-disabling cannot repair the pair (whole-cache failure). Both the
-/// serial and the parallel executor run every fault-map evaluation through this
-/// single function, which is what makes their results bit-identical.
+/// when a repair scheme cannot repair one of the maps (whole-cache failure, on
+/// the L1s or the L2). Both the serial and the parallel executor run every
+/// fault-map evaluation through this single function, which is what makes
+/// their results bit-identical.
 fn run_fault_pair(
     params: &SimulationParams,
     cfg: HierarchyConfig,
     benchmark: Benchmark,
     trace_seed: u64,
     (map_i, map_d): &(FaultMap, FaultMap),
+    l2_map: Option<&FaultMap>,
 ) -> Option<SimResult> {
-    CacheHierarchy::with_fault_maps(cfg, Some(map_i), Some(map_d))
+    CacheHierarchy::with_all_fault_maps(cfg, Some(map_i), Some(map_d), l2_map)
         .ok()
         .map(|hierarchy| simulate(benchmark, hierarchy, trace_seed, params.instructions))
 }
 
-/// Whether `scheme` at `voltage` is evaluated once per fault-map pair.
-fn map_dependent(scheme: SchemeConfig, voltage: VoltageMode) -> bool {
-    voltage == VoltageMode::Low && scheme.fault_dependent()
+/// Whether `scheme` at `voltage` is evaluated once per fault-map pair: the L1
+/// scheme or the campaign's L2 protection depends on the sampled faults.
+fn map_dependent(params: &SimulationParams, scheme: SchemeConfig, voltage: VoltageMode) -> bool {
+    voltage == VoltageMode::Low
+        && (scheme.fault_dependent()
+            || params.l2.scheme_for(scheme).repair().needs_fault_map())
 }
 
 /// Whether each fault-map pair of a map-dependent configuration is an
-/// independent unit of work. Schemes whose repaired organization is identical
-/// for every usable map (word-disabling's always-halved cache) are the
-/// exception: the serial loop stops after the first usable pair, which makes
-/// later pairs depend on the earlier outcomes.
-fn pairs_independent(scheme: SchemeConfig) -> bool {
-    !scheme.scheme().repair().performance_uniform_across_maps()
+/// independent unit of work. Configurations whose repaired organization is
+/// identical for every usable map — word-disabling's always-halved cache, on
+/// *both* the L1s and the L2 — are the exception: the serial loop stops after
+/// the first usable pair, which makes later pairs depend on the earlier
+/// outcomes.
+fn pairs_independent(params: &SimulationParams, scheme: SchemeConfig) -> bool {
+    !(scheme.scheme().repair().performance_uniform_across_maps()
+        && params
+            .l2
+            .scheme_for(scheme)
+            .repair()
+            .performance_uniform_across_maps())
 }
 
 /// Runs one (benchmark, configuration) pair at the given voltage over the campaign's
@@ -249,23 +297,24 @@ fn pairs_independent(scheme: SchemeConfig) -> bool {
 fn run_config(
     params: &SimulationParams,
     pairs: &[(FaultMap, FaultMap)],
+    l2_maps: &[FaultMap],
     benchmark: Benchmark,
     scheme: SchemeConfig,
     voltage: VoltageMode,
 ) -> ConfigResult {
     let seed = trace_seed(params, benchmark);
-    let cfg = scheme.hierarchy_config(voltage);
+    let cfg = scheme.hierarchy_config_with_l2(voltage, params.l2);
     let mut runs = Vec::new();
     let mut whole_cache_failures = 0;
 
-    if map_dependent(scheme, voltage) {
-        for pair in pairs {
-            match run_fault_pair(params, cfg, benchmark, seed, pair) {
+    if map_dependent(params, scheme, voltage) {
+        for (i, pair) in pairs.iter().enumerate() {
+            match run_fault_pair(params, cfg, benchmark, seed, pair, l2_maps.get(i)) {
                 Some(result) => {
                     runs.push(result);
                     // Word-disabling's performance does not depend on *which* usable
                     // map was drawn (capacity is always halved), so one run suffices.
-                    if !pairs_independent(scheme) {
+                    if !pairs_independent(params, scheme) {
                         break;
                     }
                 }
@@ -324,7 +373,7 @@ fn campaign_jobs(
     let mut jobs = Vec::new();
     for &benchmark in &params.benchmarks {
         for &scheme in schemes {
-            if map_dependent(scheme, voltage) && pairs_independent(scheme) {
+            if map_dependent(params, scheme, voltage) && pairs_independent(params, scheme) {
                 jobs.extend(
                     (0..pair_count).map(|pair_index| JobSpec::Pair {
                         benchmark,
@@ -358,13 +407,18 @@ fn run_campaign_parallel(
     } else {
         Vec::new()
     };
+    let l2_maps = if voltage == VoltageMode::Low {
+        params.derived_l2_fault_maps(schemes)
+    } else {
+        Vec::new()
+    };
     let jobs = campaign_jobs(params, schemes, voltage, pairs.len());
     let outputs: Vec<JobOutput> = jobs
         .into_par_iter()
         .map(|job| match job {
-            JobSpec::Whole { benchmark, scheme } => {
-                JobOutput::Whole(run_config(params, &pairs, benchmark, scheme, voltage))
-            }
+            JobSpec::Whole { benchmark, scheme } => JobOutput::Whole(run_config(
+                params, &pairs, &l2_maps, benchmark, scheme, voltage,
+            )),
             JobSpec::Pair {
                 benchmark,
                 scheme,
@@ -372,10 +426,11 @@ fn run_campaign_parallel(
             } => JobOutput::Pair(
                 run_fault_pair(
                     params,
-                    scheme.hierarchy_config(voltage),
+                    scheme.hierarchy_config_with_l2(voltage, params.l2),
                     benchmark,
                     trace_seed(params, benchmark),
                     &pairs[pair_index],
+                    l2_maps.get(pair_index),
                 )
                 .map(Box::new),
             ),
@@ -393,7 +448,7 @@ fn run_campaign_parallel(
             configs: schemes
                 .iter()
                 .map(|&scheme| {
-                    if map_dependent(scheme, voltage) && pairs_independent(scheme) {
+                    if map_dependent(params, scheme, voltage) && pairs_independent(params, scheme) {
                         let mut runs = Vec::new();
                         let mut whole_cache_failures = 0;
                         for _ in 0..pairs.len() {
@@ -432,6 +487,11 @@ fn run_campaign(
     } else {
         Vec::new()
     };
+    let l2_maps = if voltage == VoltageMode::Low {
+        params.derived_l2_fault_maps(schemes)
+    } else {
+        Vec::new()
+    };
     params
         .benchmarks
         .iter()
@@ -439,7 +499,7 @@ fn run_campaign(
             benchmark,
             configs: schemes
                 .iter()
-                .map(|&scheme| run_config(params, &pairs, benchmark, scheme, voltage))
+                .map(|&scheme| run_config(params, &pairs, &l2_maps, benchmark, scheme, voltage))
                 .collect(),
         })
         .collect()
@@ -919,12 +979,15 @@ impl GovernorStudy {
         benchmark: Benchmark,
         policy: &GovernorPolicy,
         maps: Option<&(FaultMap, FaultMap)>,
+        l2_map: Option<&FaultMap>,
     ) -> Option<GovernedRun> {
         run_governed(&GovernedRunSpec {
             benchmark,
             scheme: Self::SCHEME,
+            l2_scheme: params.l2.scheme_for(Self::SCHEME),
             policy,
             maps,
+            l2_map,
             trace_seed: trace_seed(params, benchmark),
             instructions: params.instructions,
             phases: Some(phases),
@@ -958,6 +1021,7 @@ impl GovernorStudy {
     #[must_use]
     pub fn run(params: &SimulationParams) -> Self {
         let pairs = fault_map_pairs(params);
+        let l2_maps = params.derived_l2_fault_maps(&[Self::SCHEME]);
         let phases = Self::phase_schedule(params);
         let benchmarks = params
             .benchmarks
@@ -971,12 +1035,20 @@ impl GovernorStudy {
                             if Self::policy_map_dependent(&policy) {
                                 pairs
                                     .iter()
-                                    .map(|pair| {
-                                        Self::run_cell(params, &phases, benchmark, &policy, Some(pair))
+                                    .enumerate()
+                                    .map(|(i, pair)| {
+                                        Self::run_cell(
+                                            params,
+                                            &phases,
+                                            benchmark,
+                                            &policy,
+                                            Some(pair),
+                                            l2_maps.get(i),
+                                        )
                                     })
                                     .collect()
                             } else {
-                                vec![Self::run_cell(params, &phases, benchmark, &policy, None)]
+                                vec![Self::run_cell(params, &phases, benchmark, &policy, None, None)]
                             };
                         Self::collect(policy, outputs)
                     })
@@ -993,6 +1065,7 @@ impl GovernorStudy {
     #[must_use]
     pub fn run_parallel(params: &SimulationParams) -> Self {
         let pairs = fault_map_pairs(params);
+        let l2_maps = params.derived_l2_fault_maps(&[Self::SCHEME]);
         let phases = Self::phase_schedule(params);
         let policies = Self::policies(params);
 
@@ -1023,6 +1096,7 @@ impl GovernorStudy {
                     job.benchmark,
                     &policies[job.policy_index],
                     job.pair_index.map(|i| &pairs[i]),
+                    job.pair_index.and_then(|i| l2_maps.get(i)),
                 )
             })
             .collect();

@@ -49,6 +49,12 @@ pub struct YieldParams {
     /// operational (0.5 matches the paper's "more than 50% capacity" framing
     /// and word-disabling's halved organization).
     pub min_capacity: f64,
+    /// Whether the per-die pass criterion also covers the unified L2: when
+    /// set, each die additionally samples an L2 variation + fault map per
+    /// voltage and a scheme must hold the capacity floor on *both* arrays for
+    /// the die to count as operational. Off by default (the paper's perfect
+    /// L2), which leaves every existing result bit-identical.
+    pub include_l2: bool,
     /// Master seed from which every die and fault map derives.
     pub master_seed: u64,
 }
@@ -66,6 +72,7 @@ impl YieldParams {
             v_low: 0.45,
             steps: 11,
             min_capacity: 0.5,
+            include_l2: false,
             master_seed: 0x15_2A55_2010,
         }
     }
@@ -121,6 +128,21 @@ impl YieldParams {
             })
             .collect()
     }
+
+    /// Per-die (variation seed, fault-map seed) pairs for the L2 array, from a
+    /// seed fork of their own: enabling the L2 floor never changes the L1
+    /// side of any die.
+    #[must_use]
+    pub fn l2_die_seeds(&self) -> Vec<(u64, u64)> {
+        let mut seeds = SeedSequence::new(self.master_seed).fork("yield-l2-dies");
+        (0..self.dies)
+            .map(|_| {
+                let die = seeds.next_seed();
+                let map = seeds.next_seed();
+                (die, map)
+            })
+            .collect()
+    }
 }
 
 impl Default for YieldParams {
@@ -128,6 +150,10 @@ impl Default for YieldParams {
         Self::quick()
     }
 }
+
+/// One die's unit of work: its (variation, map) seed pair for the L1 plus the
+/// optional pair for the L2.
+type DieJob = ((u64, u64), Option<(u64, u64)>);
 
 /// The outcome of one die: per repair scheme (registry order), whether the die
 /// is operational at each grid voltage and the resulting minimum operational
@@ -159,19 +185,46 @@ impl YieldStudy {
         CacheGeometry::ispass2010_l1()
     }
 
+    /// The second array the pass criterion covers when
+    /// [`YieldParams::include_l2`] is set: the paper's unified L2.
+    #[must_use]
+    pub fn l2_geometry() -> CacheGeometry {
+        CacheGeometry::ispass2010_l2()
+    }
+
     /// Evaluates one die: sample its variation, generate its fault map at
     /// every grid voltage (nested, because the map seed is fixed per die) and
-    /// query every repair scheme's capacity. Both executors run each die
+    /// query every repair scheme's capacity — on the L1 alone, or on the L1
+    /// and the L2 when the die carries L2 seeds. Both executors run each die
     /// through this single function, which is what makes them bit-identical.
-    fn run_die(params: &YieldParams, grid: &[f64], die_seed: u64, map_seed: u64) -> DieResult {
+    fn run_die(
+        params: &YieldParams,
+        grid: &[f64],
+        die_seed: u64,
+        map_seed: u64,
+        l2_seeds: Option<(u64, u64)>,
+    ) -> DieResult {
         let geometry = Self::geometry();
         let die = DieVariation::sample(&geometry, &params.variation, die_seed);
+        let l2_die = l2_seeds.map(|(l2_die_seed, l2_map_seed)| {
+            (
+                DieVariation::sample(&Self::l2_geometry(), &params.variation, l2_die_seed),
+                l2_map_seed,
+            )
+        });
         let schemes = registry();
         let mut operational = vec![Vec::with_capacity(grid.len()); schemes.len()];
         for &v in grid {
             let map = FaultMap::generate_at_voltage(&die, v, map_seed);
+            let l2_map = l2_die
+                .as_ref()
+                .map(|(d, seed)| FaultMap::generate_at_voltage(d, v, *seed));
             for (i, scheme) in schemes.iter().enumerate() {
-                operational[i].push(scheme.meets_capacity_floor(&map, params.min_capacity));
+                let ok = scheme.meets_capacity_floor(&map, params.min_capacity)
+                    && l2_map
+                        .as_ref()
+                        .is_none_or(|m| scheme.meets_capacity_floor(m, params.min_capacity));
+                operational[i].push(ok);
             }
         }
         // Fault maps are nested across the descending grid and capacity is
@@ -198,12 +251,24 @@ impl YieldStudy {
         let dies = params
             .die_seeds()
             .into_iter()
-            .map(|(die_seed, map_seed)| Self::run_die(params, &grid, die_seed, map_seed))
+            .zip(Self::l2_seed_iter(params))
+            .map(|((die_seed, map_seed), l2_seeds)| {
+                Self::run_die(params, &grid, die_seed, map_seed, l2_seeds)
+            })
             .collect();
         Self {
             params: params.clone(),
             grid,
             dies,
+        }
+    }
+
+    /// One optional L2 seed pair per die: `None`s when the L2 floor is off.
+    fn l2_seed_iter(params: &YieldParams) -> Vec<Option<(u64, u64)>> {
+        if params.include_l2 {
+            params.l2_die_seeds().into_iter().map(Some).collect()
+        } else {
+            vec![None; params.dies]
         }
     }
 
@@ -213,10 +278,16 @@ impl YieldStudy {
     #[must_use]
     pub fn run_parallel(params: &YieldParams) -> Self {
         let grid = params.voltage_grid();
-        let dies = params
+        let jobs: Vec<DieJob> = params
             .die_seeds()
+            .into_iter()
+            .zip(Self::l2_seed_iter(params))
+            .collect();
+        let dies = jobs
             .into_par_iter()
-            .map(|(die_seed, map_seed)| Self::run_die(params, &grid, die_seed, map_seed))
+            .map(|((die_seed, map_seed), l2_seeds)| {
+                Self::run_die(params, &grid, die_seed, map_seed, l2_seeds)
+            })
             .collect();
         Self {
             params: params.clone(),
@@ -419,6 +490,60 @@ mod tests {
             assert!(values[1] <= values[0] + 1e-12);
             assert!(values[0] <= values[2] + 1e-12);
         }
+    }
+
+    #[test]
+    fn l2_floor_never_helps_and_only_tightens_the_criterion() {
+        // Same seeds with and without the L2 floor: a die operational with the
+        // L2 included must be operational without it (the criterion is a
+        // conjunction), and the L1-only study is bit-identical to before.
+        let base = tiny();
+        let with_l2 = YieldParams {
+            include_l2: true,
+            ..base.clone()
+        };
+        let a = YieldStudy::run(&base);
+        let b = YieldStudy::run(&with_l2);
+        assert_eq!(a.dies.len(), b.dies.len());
+        for (da, db) in a.dies.iter().zip(&b.dies) {
+            for (fa, fb) in da.operational.iter().zip(&db.operational) {
+                for (&l1_only, &both) in fa.iter().zip(fb) {
+                    assert!(!both || l1_only, "the L2 floor cannot revive a die");
+                }
+            }
+            for (va, vb) in da.min_voltage.iter().zip(&db.min_voltage) {
+                match (va, vb) {
+                    (Some(l1_only), Some(both)) => assert!(both >= l1_only),
+                    (None, Some(_)) => panic!("the L2 floor cannot revive a die"),
+                    _ => {}
+                }
+            }
+        }
+        // Parallel stays bit-identical with the L2 floor enabled, and the
+        // monotone prefix structure survives (nested maps on both arrays).
+        assert_eq!(b, YieldStudy::run_parallel(&with_l2));
+        for die in &b.dies {
+            for flags in &die.operational {
+                let first_false = flags.iter().take_while(|&&ok| ok).count();
+                assert!(flags[first_false..].iter().all(|&ok| !ok));
+            }
+        }
+        // The idealized baseline ignores faults on both arrays.
+        let bottom = *b.grid.last().unwrap();
+        for die in &b.dies {
+            assert_eq!(die.min_voltage[0], Some(bottom));
+        }
+    }
+
+    #[test]
+    fn l2_seeds_are_disjoint_from_l1_seeds() {
+        let params = tiny();
+        let l1: std::collections::HashSet<u64> =
+            params.die_seeds().iter().flat_map(|&(d, m)| [d, m]).collect();
+        let l2: std::collections::HashSet<u64> =
+            params.l2_die_seeds().iter().flat_map(|&(d, m)| [d, m]).collect();
+        assert_eq!(l2.len(), 2 * params.dies);
+        assert!(l1.is_disjoint(&l2), "L1 and L2 arrays must fault independently");
     }
 
     #[test]

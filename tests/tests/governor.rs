@@ -18,6 +18,7 @@ use vccmin_core::experiments::{
     run_governed, GovernedRun, GovernedRunSpec, GovernorPolicy, HighVoltageStudy, LowVoltageStudy,
     SchemeConfig, SimulationParams, TransitionCostModel,
 };
+use vccmin_core::cache::DisablingScheme;
 use vccmin_core::{Benchmark, FaultMap};
 
 fn small_params(benchmarks: Vec<Benchmark>, instructions: u64) -> SimulationParams {
@@ -37,8 +38,10 @@ fn pinned_run(
     run_governed(&GovernedRunSpec {
         benchmark,
         scheme: SchemeConfig::BlockDisabling,
+        l2_scheme: DisablingScheme::Baseline,
         policy: &GovernorPolicy::pinned(mode),
         maps,
+        l2_map: None,
         trace_seed: params.trace_seed(benchmark),
         instructions: params.instructions,
         phases: None,
@@ -109,11 +112,13 @@ fn closed_form_overhead_model_cross_validates_the_simulation() {
         let governed = run_governed(&GovernedRunSpec {
             benchmark,
             scheme: SchemeConfig::BlockDisabling,
+            l2_scheme: DisablingScheme::Baseline,
             policy: &GovernorPolicy::Interval {
                 nominal: quantum,
                 low: quantum,
             },
             maps: Some(pair),
+            l2_map: None,
             trace_seed: params.trace_seed(benchmark),
             instructions: params.instructions,
             phases: None,
@@ -166,8 +171,10 @@ proptest! {
             run_governed(&GovernedRunSpec {
                 benchmark,
                 scheme: SchemeConfig::BlockDisabling,
+                l2_scheme: DisablingScheme::Baseline,
                 policy: &GovernorPolicy::Interval { nominal: quantum, low: quantum },
                 maps: Some(pair),
+                l2_map: None,
                 trace_seed: params.trace_seed(benchmark),
                 instructions: params.instructions,
                 phases: None,
@@ -207,8 +214,10 @@ proptest! {
         let run = run_governed(&GovernedRunSpec {
             benchmark,
             scheme: SchemeConfig::BlockDisabling,
+            l2_scheme: DisablingScheme::Baseline,
             policy: &GovernorPolicy::Interval { nominal: 1_000, low: 1_000 },
             maps: Some(pair),
+            l2_map: None,
             trace_seed: params.trace_seed(benchmark),
             instructions: params.instructions,
             phases: None,
