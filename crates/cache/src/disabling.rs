@@ -78,7 +78,7 @@ impl DisablingScheme {
     /// Parses a stable scheme name back into an identifier.
     #[must_use]
     pub fn from_name(name: &str) -> Option<Self> {
-        crate::repair::by_name(name).map(|s| s.id())
+        crate::repair::by_name(name).map(crate::repair::RepairScheme::id)
     }
 
     /// Extra L1 hit latency (cycles) imposed by the scheme in the given voltage
@@ -209,8 +209,8 @@ impl L1Config {
         mode: VoltageMode,
         fault_map: Option<&FaultMap>,
     ) -> Result<EffectiveL1, DisableError> {
-        let victim_entries = self.victim.map(|v| v.usable_entries(mode)).unwrap_or(0);
-        let victim_latency = self.victim.map(|v| v.latency).unwrap_or(0);
+        let victim_entries = self.victim.map_or(0, |v| v.usable_entries(mode));
+        let victim_latency = self.victim.map_or(0, |v| v.latency);
         let base = EffectiveL1 {
             geometry: self.geometry,
             disabled: None,

@@ -254,7 +254,7 @@ impl L1Side {
 
     fn was_bypassed(&self, addr: u64) -> bool {
         !self.cache.probe(addr)
-            && !self.victim.as_ref().map(|v| v.probe(addr)).unwrap_or(false)
+            && !self.victim.as_ref().is_some_and(|v| v.probe(addr))
     }
 }
 
@@ -283,6 +283,7 @@ impl CacheHierarchy {
     #[must_use]
     pub fn new(config: HierarchyConfig) -> Self {
         Self::with_all_fault_maps(config, None, None, None)
+            // simlint::allow(panic-path, "documented `# Panics` constructor; fault-free builds are infallible")
             .expect("configurations without fault maps cannot fail to build")
     }
 
@@ -360,7 +361,7 @@ impl CacheHierarchy {
 
     /// Accesses the instruction side (a fetch of the block containing `addr`).
     pub fn access_instr(&mut self, addr: u64) -> AccessResult {
-        Self::access_side(
+        let result = Self::access_side(
             &mut self.l1i,
             &mut self.l2,
             &mut self.memory_accesses,
@@ -370,12 +371,14 @@ impl CacheHierarchy {
             self.config.memory_latency,
             addr,
             false,
-        )
+        );
+        self.debug_check_accounting();
+        result
     }
 
     /// Accesses the data side (`write` = true for stores).
     pub fn access_data(&mut self, addr: u64, write: bool) -> AccessResult {
-        Self::access_side(
+        let result = Self::access_side(
             &mut self.l1d,
             &mut self.l2,
             &mut self.memory_accesses,
@@ -385,7 +388,9 @@ impl CacheHierarchy {
             self.config.memory_latency,
             addr,
             write,
-        )
+        );
+        self.debug_check_accounting();
+        result
     }
 
     /// Drains a dirty block the L1 side pushed out (or wrote through): it is
@@ -455,9 +460,59 @@ impl CacheHierarchy {
         }
     }
 
+    /// Accounting invariants, checked after every access and on every
+    /// [`stats`](Self::stats) read. `debug_assert!` compiles to nothing in
+    /// release builds, so the optimized simulator pays no cost; debug test
+    /// runs verify the write-back bookkeeping on every single access.
+    fn debug_check_accounting(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let consistent = |label: &str, s: &crate::stats::CacheStats| {
+                debug_assert_eq!(
+                    s.hits + s.misses,
+                    s.accesses,
+                    "{label}: hits + misses must equal accesses"
+                );
+            };
+            consistent("l1i", self.l1i.cache.stats());
+            consistent("l1d", self.l1d.cache.stats());
+            consistent("l2", self.l2.stats());
+            if let Some(v) = &self.l1i.victim {
+                consistent("l1i victim", v.stats());
+            }
+            if let Some(v) = &self.l1d.victim {
+                consistent("l1d victim", v.stats());
+            }
+            // Demand caches only evict to fill, and only a miss fills.
+            debug_assert!(
+                self.l1i.cache.stats().evictions <= self.l1i.cache.stats().misses,
+                "l1i: every eviction is caused by a miss fill"
+            );
+            debug_assert!(
+                self.l1d.cache.stats().evictions <= self.l1d.cache.stats().misses,
+                "l1d: every eviction is caused by a miss fill"
+            );
+            // The L2 is only consulted on an L1-side miss, and every L2 miss
+            // goes to memory — the two counters move in lockstep.
+            debug_assert_eq!(
+                self.memory_accesses,
+                self.l2.stats().misses,
+                "memory accesses must equal L2 misses"
+            );
+            // Dirty data reaches memory through a counted L1-side write-back
+            // (L2 line not resident) or through a dirty L2 eviction — never
+            // out of thin air.
+            debug_assert!(
+                self.memory_writebacks <= self.writebacks + self.l2.stats().evictions,
+                "memory write-backs need an L1 write-back or a dirty L2 eviction as a source"
+            );
+        }
+    }
+
     /// Counters for every structure in the hierarchy.
     #[must_use]
     pub fn stats(&self) -> HierarchyStats {
+        self.debug_check_accounting();
         HierarchyStats {
             l1i: *self.l1i.cache.stats(),
             l1d: *self.l1d.cache.stats(),

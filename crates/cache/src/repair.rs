@@ -379,8 +379,8 @@ impl BitFixScheme {
 
     /// Whether a block cannot be repaired from the set's pattern storage: its
     /// tag cells are faulty, or it exceeds the per-block repair budget.
-    fn unrepairable(block: &BlockFaults, budget: u32) -> bool {
-        block.tag_is_faulty() || block.faulty_word_count() > budget
+    fn unrepairable(block: &BlockFaults, budget: u64) -> bool {
+        block.tag_is_faulty() || u64::from(block.faulty_word_count()) > budget
     }
 
     /// The way sacrificed for pattern storage in a faulty set: an unrepairable
@@ -388,7 +388,7 @@ impl BitFixScheme {
     /// (ties broken toward the lowest way index). The chosen way is always
     /// faulty, which is what makes bit-fix dominate block-disabling on every
     /// fault map.
-    fn sacrificed_way(map: &FaultMap, set: u64, budget: u32) -> u64 {
+    fn sacrificed_way(map: &FaultMap, set: u64, budget: u64) -> u64 {
         let mut best_way = 0;
         let mut best_score = (false, 0u32);
         for way in 0..map.geometry().associativity() {
@@ -428,7 +428,7 @@ impl RepairScheme for BitFixScheme {
 
     fn repair(&self, map: &FaultMap) -> Result<ResolvedOrganization, DisableError> {
         let geometry = *map.geometry();
-        let budget = Self::params(&geometry).repair_word_budget as u32;
+        let budget = Self::params(&geometry).repair_word_budget;
         let mut mask = WayDisableMask::all_enabled(&geometry);
         for set in 0..geometry.sets() {
             let dirty = (0..geometry.associativity()).any(|w| map.block_is_faulty(set, w));

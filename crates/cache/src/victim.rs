@@ -145,14 +145,18 @@ impl VictimCache {
             return None;
         }
 
-        // Prefer an invalid entry, otherwise evict the LRU one.
-        let victim_idx = self
+        // Prefer an invalid entry, otherwise evict the LRU one. `entries` was
+        // checked non-empty above, so the minimum exists; degrade to a
+        // pass-through displacement rather than panicking if it ever does not.
+        let Some(victim_idx) = self
             .entries
             .iter()
             .enumerate()
             .min_by_key(|(_, e)| if e.valid { (1, e.lru) } else { (0, 0) })
             .map(|(i, _)| i)
-            .expect("victim cache has at least one entry");
+        else {
+            return Some((block, dirty));
+        };
         let displaced = {
             let e = &self.entries[victim_idx];
             if e.valid {

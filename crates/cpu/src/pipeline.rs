@@ -186,11 +186,11 @@ impl Pipeline {
             // ------------------------------------------------------------------
             let mut commits = 0;
             while commits < cfg.commit_width {
-                let Some(head) = rob.front() else { break };
-                if head.state != EntryState::Completed || head.complete_cycle > cycle {
-                    break;
+                match rob.front() {
+                    Some(head) if head.state == EntryState::Completed && head.complete_cycle <= cycle => {}
+                    _ => break,
                 }
-                let head = rob.pop_front().expect("head exists");
+                let Some(head) = rob.pop_front() else { break };
                 if head.op.is_mem() {
                     lsq -= 1;
                     if head.op == OpClass::Store {
@@ -206,7 +206,7 @@ impl Pipeline {
                 }
                 // Clear the rename table if this instruction is still the newest
                 // producer of its destination register.
-                for r in reg_producer.iter_mut() {
+                for r in &mut reg_producer {
                     if *r == Some(head.seq) {
                         *r = None;
                     }
@@ -219,7 +219,7 @@ impl Pipeline {
             // ------------------------------------------------------------------
             // 2. Completion: mark issued instructions whose execution finished.
             // ------------------------------------------------------------------
-            for entry in rob.iter_mut() {
+            for entry in &mut rob {
                 if entry.state == EntryState::Issued && entry.complete_cycle <= cycle {
                     entry.state = EntryState::Completed;
                     if entry.mispredicted_branch && waiting_branch == Some(entry.seq) {
@@ -253,11 +253,10 @@ impl Pipeline {
                 flags
                     .iter()
                     .find(|(s, _)| *s == dep)
-                    .map(|(_, done)| *done)
-                    .unwrap_or(true)
+                    .is_none_or(|(_, done)| *done)
             };
 
-            for entry in rob.iter_mut() {
+            for entry in &mut rob {
                 if issued_this_cycle >= cfg.issue_width {
                     break;
                 }
@@ -288,6 +287,7 @@ impl Pipeline {
                 // Execution latency.
                 let latency = match entry.op {
                     OpClass::Load => {
+                        // simlint::allow(panic-path, "dispatch stores an address for every memory op before it reaches issue")
                         let addr = entry.mem_addr.expect("loads carry an address");
                         let access = self.hierarchy.access_data(addr, false);
                         access.latency
@@ -323,7 +323,7 @@ impl Pipeline {
                 if front.instr.is_mem() && lsq >= cfg.lsq_entries {
                     break;
                 }
-                let fetched_instr = fetch_queue.pop_front().expect("front exists");
+                let Some(fetched_instr) = fetch_queue.pop_front() else { break };
                 let instr = fetched_instr.instr;
                 let mut deps = [None, None];
                 for (slot, src) in instr.srcs.iter().enumerate() {

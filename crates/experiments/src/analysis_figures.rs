@@ -94,6 +94,7 @@ pub fn figure5(steps: usize) -> FigureTable {
 pub fn figure6(steps: usize) -> FigureTable {
     let geom = ArrayGeometry::ispass2010_l1();
     let series = block_faults::block_size_sensitivity(&geom, &[32, 64, 128], 0.005, steps)
+        // simlint::allow(panic-path, "fixed paper constants; divisibility is pinned by unit tests")
         .expect("paper block sizes divide the cache size");
     let mut table = FigureTable::new(
         "Figure 6: block-disabling capacity vs pfail for different block sizes",

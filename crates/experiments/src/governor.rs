@@ -340,6 +340,7 @@ pub fn run_governed(spec: &GovernedRunSpec<'_>) -> Option<GovernedRun> {
                 build_hierarchy(spec, mode)?,
             ));
         }
+        // simlint::allow(panic-path, "Some(..) was assigned in the is_none branch directly above")
         let pipe = pipeline.as_mut().expect("pipeline was just built");
         let sim = pipe.run(&mut trace, Some(length.min(remaining)));
         remaining -= sim.instructions.min(remaining);

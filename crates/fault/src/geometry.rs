@@ -76,24 +76,28 @@ impl CacheGeometry {
     /// The paper's L1 instruction/data cache: 32 KB, 8-way, 64 B blocks, 24-bit tag.
     #[must_use]
     pub fn ispass2010_l1() -> Self {
+        // simlint::allow(panic-path, "fixed paper constant; validated by unit tests")
         Self::new(32 * 1024, 64, 8, 24).expect("paper L1 geometry is valid")
     }
 
     /// The paper's word-disabled low-voltage L1: 16 KB, 4-way, 64 B blocks.
     #[must_use]
     pub fn ispass2010_l1_word_disabled() -> Self {
+        // simlint::allow(panic-path, "fixed paper constant; validated by unit tests")
         Self::new(16 * 1024, 64, 4, 24).expect("halved L1 geometry is valid")
     }
 
     /// The paper's unified L2: 2 MB, 8-way, 64 B blocks.
     #[must_use]
     pub fn ispass2010_l2() -> Self {
+        // simlint::allow(panic-path, "fixed paper constant; validated by unit tests")
         Self::new(2 * 1024 * 1024, 64, 8, 18).expect("paper L2 geometry is valid")
     }
 
     /// The paper's 16-entry fully-associative victim cache with 64 B blocks.
     #[must_use]
     pub fn ispass2010_victim_cache() -> Self {
+        // simlint::allow(panic-path, "fixed paper constant; validated by unit tests")
         Self::new(16 * 64, 64, 16, 30).expect("victim cache geometry is valid")
     }
 
@@ -190,6 +194,7 @@ impl CacheGeometry {
             self.tag_bits,
             self.meta_bits,
         )
+        // simlint::allow(panic-path, "CacheGeometry::new validated the same invariants ArrayGeometry::new checks")
         .expect("a valid CacheGeometry always maps to a valid ArrayGeometry")
     }
 

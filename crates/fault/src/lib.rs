@@ -37,6 +37,24 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Shared strict lint table — kept byte-identical in every workspace crate and
+// applied per-crate (not via `[workspace.lints]`, which the vendored toolchain
+// setup does not rely on). simlint's D-rules cover the determinism side; this
+// table covers the general-correctness side.
+#![deny(
+    clippy::dbg_macro,
+    clippy::exit,
+    clippy::mem_forget,
+    clippy::todo,
+    clippy::unimplemented
+)]
+#![warn(
+    clippy::explicit_iter_loop,
+    clippy::manual_let_else,
+    clippy::map_unwrap_or,
+    clippy::redundant_closure_for_method_calls,
+    clippy::semicolon_if_nothing_returned
+)]
 
 pub mod fault_map;
 pub mod geometry;

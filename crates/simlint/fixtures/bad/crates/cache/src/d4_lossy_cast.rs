@@ -1,0 +1,10 @@
+//! Known-bad fixture for D4: narrowing casts in an accounting path (the
+//! fixture lives under a `crates/cache/` path on purpose).
+
+pub fn pack_counter(accesses: u64) -> u32 {
+    accesses as u32
+}
+
+pub fn rate(hits: usize, total: usize) -> f32 {
+    hits as f32 / total as f32
+}

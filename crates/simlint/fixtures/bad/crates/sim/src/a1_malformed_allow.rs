@@ -1,0 +1,7 @@
+//! Known-bad fixture for A1: malformed allow annotations.
+use std::collections::HashMap; // simlint::allow(D1)
+
+pub fn f() -> HashMap<u32, u32> {
+    // simlint::allow(D47, "no such rule")
+    HashMap::new()
+}

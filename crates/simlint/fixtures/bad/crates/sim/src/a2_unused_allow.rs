@@ -1,0 +1,6 @@
+//! Known-bad fixture for A2: a stale allow that suppresses nothing.
+
+// simlint::allow(panic-path, "this function no longer panics")
+pub fn safe(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}

@@ -1,0 +1,16 @@
+//! Known-bad fixture for D1: unordered containers in library code.
+use std::collections::HashMap;
+
+pub fn histogram(samples: &[u32]) -> Vec<(u32, u64)> {
+    let mut counts: HashMap<u32, u64> = HashMap::new();
+    for &s in samples {
+        *counts.entry(s).or_insert(0) += 1;
+    }
+    // Iteration order of the map decides row order in the emitted CSV.
+    counts.into_iter().collect()
+}
+
+pub fn distinct(samples: &[u32]) -> usize {
+    let set: std::collections::HashSet<u32> = samples.iter().copied().collect();
+    set.len()
+}

@@ -1,0 +1,17 @@
+//! Known-bad fixture for D2: ambient entropy / wall clock in simulator code.
+use std::time::{Instant, SystemTime};
+
+pub fn jittered_seed() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn stamp() -> u64 {
+    let t = Instant::now();
+    let _ = SystemTime::now();
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn reseed() -> SmallRng {
+    SmallRng::from_entropy()
+}

@@ -1,0 +1,13 @@
+//! Known-bad fixture for D3: shape-dependent reductions on rayon iterators.
+use rayon::prelude::*;
+
+pub fn total_energy(per_die: &[f64]) -> f64 {
+    per_die.par_iter().map(|e| e * 1.5).sum()
+}
+
+pub fn worst(per_die: &[f64]) -> f64 {
+    per_die
+        .par_iter()
+        .map(|e| e + 1.0)
+        .reduce(|| 0.0, |a, b| a + b)
+}

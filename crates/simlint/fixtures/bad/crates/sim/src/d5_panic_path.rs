@@ -1,0 +1,16 @@
+//! Known-bad fixture for D5: panic paths in library code.
+
+pub fn first_latency(latencies: &[u32]) -> u32 {
+    *latencies.first().unwrap()
+}
+
+pub fn parse_voltage(text: &str) -> f64 {
+    text.parse().expect("voltage must parse")
+}
+
+pub fn must_be_positive(x: i64) -> i64 {
+    if x <= 0 {
+        panic!("x must be positive");
+    }
+    x
+}

@@ -1,0 +1,15 @@
+//! Known-bad fixture for D6: watched structs without Debug + Clone.
+
+pub struct CampaignStats {
+    pub dies: u64,
+}
+
+#[derive(Debug)]
+pub struct ShardConfig {
+    pub shards: u32,
+}
+
+#[derive(Clone)]
+pub struct QueueStats {
+    pub depth: u64,
+}

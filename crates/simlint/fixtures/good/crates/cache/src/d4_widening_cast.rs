@@ -1,0 +1,13 @@
+//! Known-good fixture for D4: widening conversions in an accounting path.
+
+pub fn widen(accesses: u32) -> u64 {
+    u64::from(accesses)
+}
+
+pub fn rate(hits: u64, total: u64) -> f64 {
+    hits as f64 / total as f64
+}
+
+pub fn index(set: u64) -> usize {
+    usize::try_from(set).unwrap_or(usize::MAX)
+}

@@ -1,0 +1,11 @@
+//! Known-good fixture: bench code may read the wall clock (D2 exempts it).
+use std::time::Instant;
+
+fn main() {
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..1_000_000u64 {
+        acc = acc.wrapping_add(i);
+    }
+    println!("{} in {:?}", acc, start.elapsed());
+}

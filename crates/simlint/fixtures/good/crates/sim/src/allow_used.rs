@@ -1,0 +1,11 @@
+//! Known-good fixture: well-formed allow annotations that suppress a real
+//! diagnostic are accepted (and not reported as unused).
+
+pub fn head(xs: &[u32]) -> u32 {
+    // simlint::allow(panic-path, "callers guarantee xs is non-empty")
+    *xs.first().unwrap()
+}
+
+pub fn tail(xs: &[u32]) -> u32 {
+    *xs.last().expect("non-empty by construction") // simlint::allow(D5, "trailing form")
+}

@@ -1,0 +1,28 @@
+//! Known-good fixture for D1: ordered containers in library code, and
+//! unordered ones confined to `#[cfg(test)]`.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn histogram(samples: &[u32]) -> Vec<(u32, u64)> {
+    let mut counts: BTreeMap<u32, u64> = BTreeMap::new();
+    for &s in samples {
+        *counts.entry(s).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+pub fn distinct(samples: &[u32]) -> usize {
+    let set: BTreeSet<u32> = samples.iter().copied().collect();
+    set.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn hash_maps_are_fine_in_tests() {
+        let mut m = HashMap::new();
+        m.insert(1u32, 2u32);
+        assert_eq!(m.len(), 1);
+    }
+}

@@ -1,0 +1,11 @@
+//! Known-good fixture for D2: explicit seeding only; no wall clock.
+use rand::SeedableRng;
+use rand::rngs::SmallRng;
+
+pub fn seeded(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+pub fn mix(seed: u64, die: u64) -> u64 {
+    seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17) ^ die
+}

@@ -1,0 +1,14 @@
+//! Known-good fixture for D3: parallel map with ordered collect, then a
+//! sequential reduction; sequential sums inside parallel closures are fine.
+use rayon::prelude::*;
+
+pub fn total_energy(per_die: &[f64]) -> f64 {
+    let scaled: Vec<f64> = per_die.par_iter().map(|e| e * 1.5).collect();
+    scaled.iter().sum()
+}
+
+pub fn per_die_totals(dies: &[Vec<f64>]) -> Vec<f64> {
+    dies.par_iter()
+        .map(|die| die.iter().map(|e| e + 1.0).sum())
+        .collect()
+}

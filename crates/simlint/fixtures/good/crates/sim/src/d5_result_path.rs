@@ -1,0 +1,18 @@
+//! Known-good fixture for D5: error handling without panic paths.
+
+pub fn first_latency(latencies: &[u32]) -> Option<u32> {
+    latencies.first().copied()
+}
+
+pub fn parse_voltage(text: &str) -> Result<f64, std::num::ParseFloatError> {
+    text.parse()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

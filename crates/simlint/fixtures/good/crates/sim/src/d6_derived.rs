@@ -1,0 +1,16 @@
+//! Known-good fixture for D6: watched structs carry Debug + Clone.
+
+#[derive(Debug, Clone, Default)]
+pub struct CampaignStats {
+    pub dies: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardConfig {
+    pub shards: u32,
+}
+
+/// Not a watched suffix: no derives required.
+pub struct ScratchBuffer {
+    pub bytes: Vec<u8>,
+}

@@ -1,0 +1,10 @@
+//! Known-good fixture: files under a `tests/` component are test code, so
+//! D1 and D5 do not apply.
+use std::collections::HashMap;
+
+#[test]
+fn harness() {
+    let mut m = HashMap::new();
+    m.insert("a", 1);
+    assert_eq!(*m.get("a").unwrap(), 1);
+}

@@ -1,0 +1,114 @@
+//! `simlint` CLI.
+//!
+//! ```text
+//! simlint check [--root DIR] [--format human|json] [PATHS…]
+//! simlint rules
+//! ```
+//!
+//! `check` lints the given files/directories (default: `crates`, `tests`,
+//! `examples` under the root) and exits 0 when clean, 1 when violations were
+//! found, 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::walk;
+use simlint::ALL_RULES;
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn usage() -> &'static str {
+    "usage: simlint <command>\n\
+     \n\
+     commands:\n\
+     \x20 check [--root DIR] [--format human|json] [PATHS...]\n\
+     \x20       lint PATHS (files or directories; default: crates tests examples)\n\
+     \x20       exit codes: 0 clean, 1 violations found, 2 error\n\
+     \x20 rules\n\
+     \x20       list the rule set\n"
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => run_check(&args[1..]),
+        Some("rules") => {
+            for rule in ALL_RULES {
+                println!("{} [{}]: {}", rule.id(), rule.name(), rule.explain());
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--help" | "-h" | "help") => {
+            print!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprint!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run_check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Human;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return arg_error("--root needs a directory"),
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => format = Format::Human,
+                Some("json") => format = Format::Json,
+                _ => return arg_error("--format must be `human` or `json`"),
+            },
+            flag if flag.starts_with('-') => {
+                return arg_error(&format!("unknown flag {flag}"));
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => match std::env::current_dir() {
+            Ok(cwd) => cwd,
+            Err(e) => {
+                eprintln!("simlint: cannot determine working directory: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let result = if paths.is_empty() {
+        walk::check_workspace(&root)
+    } else {
+        walk::check_paths(&root, &paths)
+    };
+    let report = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match format {
+        Format::Human => print!("{}", report.render_human()),
+        Format::Json => print!("{}", report.render_json()),
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn arg_error(msg: &str) -> ExitCode {
+    eprintln!("simlint: {msg}");
+    eprint!("{}", usage());
+    ExitCode::from(2)
+}

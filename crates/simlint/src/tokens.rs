@@ -1,0 +1,461 @@
+//! A lightweight Rust tokenizer.
+//!
+//! simlint does not depend on `syn` or rustc internals; the rule set only needs
+//! a faithful token stream with line numbers, where comments, string/char
+//! literals and lifetimes are recognized (so rule patterns never fire inside
+//! them) and identifiers are kept verbatim. The lexer understands:
+//!
+//! * line comments (kept, with text — allow-annotations live there) and
+//!   nested block comments;
+//! * string literals in all forms: `"…"`, raw `r"…"` / `r#"…"#`, byte
+//!   `b"…"` / `br#"…"#`, and C strings `c"…"`;
+//! * char literals vs. lifetimes (`'a'` vs. `'a`);
+//! * raw identifiers (`r#type` lexes as the identifier `type`);
+//! * numeric literals (including `1.5e-3`, without swallowing `..` ranges or
+//!   method calls on literals);
+//! * single-character punctuation (multi-character operators arrive as
+//!   consecutive tokens; the scanner matches sequences where it matters).
+
+/// What a token is. Literal payloads are discarded — no rule looks inside a
+/// string, char or number — but line comments keep their text because
+/// `simlint::allow(...)` annotations are parsed out of them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (`HashMap`, `as`, `pub`, …). Raw identifiers
+    /// are unescaped (`r#type` → `type`).
+    Ident(String),
+    /// A single punctuation character (`.`, `:`, `#`, `(`, …).
+    Punct(char),
+    /// A `//` comment, text without the leading slashes.
+    LineComment(String),
+    /// A `/* … */` comment (possibly nested).
+    BlockComment,
+    /// A string literal of any flavor.
+    Str,
+    /// A character literal.
+    Char,
+    /// A lifetime (`'a`).
+    Lifetime,
+    /// A numeric literal.
+    Num,
+}
+
+/// One token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token kind (and payload for identifiers/line comments).
+    pub kind: TokKind,
+    /// 1-based source line of the token's first character.
+    pub line: u32,
+}
+
+impl Tok {
+    /// The identifier text, if this token is an identifier.
+    #[must_use]
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// True if this token is the given punctuation character.
+    #[must_use]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// True if this token is a comment (line or block).
+    #[must_use]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment(_) | TokKind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Self {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied();
+        if let Some(c) = b {
+            self.pos += 1;
+            if c == b'\n' {
+                self.line += 1;
+            }
+        }
+        b
+    }
+
+    /// Consumes `n` bytes (assumed present and not newlines-unchecked: newlines
+    /// are still counted because it goes through `bump`).
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn rest_starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn lex_line_comment(&mut self) -> TokKind {
+        // Skip the two slashes, take text to end of line.
+        self.bump_n(2);
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if c == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        TokKind::LineComment(text)
+    }
+
+    fn lex_block_comment(&mut self) -> TokKind {
+        // Rust block comments nest.
+        self.bump_n(2);
+        let mut depth = 1usize;
+        while depth > 0 {
+            if self.rest_starts_with("/*") {
+                self.bump_n(2);
+                depth += 1;
+            } else if self.rest_starts_with("*/") {
+                self.bump_n(2);
+                depth -= 1;
+            } else if self.bump().is_none() {
+                break; // unterminated; tolerate
+            }
+        }
+        TokKind::BlockComment
+    }
+
+    /// Consumes a `"…"` body (opening quote already consumed), honoring `\`
+    /// escapes.
+    fn finish_plain_string(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw-string body: `hashes` `#` characters followed by `"`
+    /// were already consumed; reads until `"` followed by `hashes` hashes.
+    fn finish_raw_string(&mut self, hashes: usize) {
+        while let Some(c) = self.bump() {
+            if c == b'"' {
+                let mut all = true;
+                for i in 0..hashes {
+                    if self.peek(i) != Some(b'#') {
+                        all = false;
+                        break;
+                    }
+                }
+                if all {
+                    self.bump_n(hashes);
+                    break;
+                }
+            }
+        }
+    }
+
+    /// If the identifier-like text starting at the current position is a
+    /// string-literal prefix (`r`, `b`, `br`, `rb`, `c` + quote/hashes, or a
+    /// raw identifier `r#ident`), lexes it and returns the token. Otherwise
+    /// returns `None` and consumes nothing.
+    fn try_prefixed_literal(&mut self) -> Option<TokKind> {
+        let c0 = self.peek(0)?;
+        // Raw identifier r#ident — handled here because it shares the r# prefix.
+        if c0 == b'r' && self.peek(1) == Some(b'#') {
+            if let Some(c2) = self.peek(2) {
+                if is_ident_start(c2 as char) {
+                    self.bump_n(2);
+                    return Some(self.lex_ident());
+                }
+            }
+        }
+        // String prefixes: (b|c)? r? then quote, or raw with hashes.
+        let mut raw = false;
+        let mut i;
+        match c0 {
+            b'b' | b'c' => {
+                i = 1;
+                if self.peek(1) == Some(b'r') {
+                    raw = true;
+                    i = 2;
+                }
+            }
+            b'r' => {
+                raw = true;
+                i = 1;
+            }
+            _ => return None,
+        }
+        if raw {
+            let mut hashes = 0usize;
+            while self.peek(i + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if self.peek(i + hashes) == Some(b'"') {
+                self.bump_n(i + hashes + 1);
+                self.finish_raw_string(hashes);
+                return Some(TokKind::Str);
+            }
+            return None;
+        }
+        // Non-raw: b"…", c"…", b'…'
+        match self.peek(i) {
+            Some(b'"') => {
+                self.bump_n(i + 1);
+                self.finish_plain_string();
+                Some(TokKind::Str)
+            }
+            Some(b'\'') if c0 == b'b' => {
+                self.bump_n(i + 1);
+                self.finish_char();
+                Some(TokKind::Char)
+            }
+            _ => None,
+        }
+    }
+
+    /// Consumes a char-literal body (opening `'` already consumed).
+    fn finish_char(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                b'\\' => {
+                    self.bump();
+                }
+                b'\'' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime). The opening `'` has
+    /// not been consumed yet.
+    fn lex_quote(&mut self) -> TokKind {
+        self.bump(); // the opening '
+        match self.peek(0) {
+            Some(b'\\') => {
+                self.finish_char();
+                TokKind::Char
+            }
+            Some(c) if is_ident_start(c as char) => {
+                // Consume identifier characters; a closing quote right after
+                // makes it a char literal ('a'), otherwise it is a lifetime.
+                let mut n = 0usize;
+                while let Some(k) = self.peek(n) {
+                    if is_ident_continue(k as char) {
+                        n += 1;
+                    } else {
+                        break;
+                    }
+                }
+                self.bump_n(n);
+                if self.peek(0) == Some(b'\'') {
+                    self.bump();
+                    TokKind::Char
+                } else {
+                    TokKind::Lifetime
+                }
+            }
+            _ => {
+                // 'x' where x is punctuation (e.g. '(' or ' '): char literal.
+                self.finish_char();
+                TokKind::Char
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) -> TokKind {
+        let start = self.pos;
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c as char) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokKind::Ident(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn lex_number(&mut self) -> TokKind {
+        // Digits/hex/suffix characters; a dot only joins the literal when the
+        // next character is a digit (so `0..n` and `1.method()` stay intact).
+        while let Some(c) = self.peek(0) {
+            if is_ident_continue(c as char) {
+                self.bump();
+            } else if c == b'.' {
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        TokKind::Num
+    }
+
+    fn next_token(&mut self) -> Option<Tok> {
+        loop {
+            let c = self.peek(0)?;
+            if (c as char).is_whitespace() {
+                self.bump();
+                continue;
+            }
+            let line = self.line;
+            let kind = if self.rest_starts_with("//") {
+                self.lex_line_comment()
+            } else if self.rest_starts_with("/*") {
+                self.lex_block_comment()
+            } else if c == b'\'' {
+                self.lex_quote()
+            } else if c == b'"' {
+                self.bump();
+                self.finish_plain_string();
+                TokKind::Str
+            } else if let Some(lit) = self.try_prefixed_literal() {
+                lit
+            } else if is_ident_start(c as char) {
+                self.lex_ident()
+            } else if c.is_ascii_digit() {
+                self.lex_number()
+            } else {
+                self.bump();
+                TokKind::Punct(c as char)
+            };
+            return Some(Tok { kind, line });
+        }
+    }
+}
+
+/// Tokenizes a whole source file.
+#[must_use]
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let mut lexer = Lexer::new(src);
+    let mut out = Vec::new();
+    while let Some(t) = lexer.next_token() {
+        out.push(t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter_map(|t| t.ident().map(str::to_owned))
+            .collect()
+    }
+
+    #[test]
+    fn basic_idents_and_lines() {
+        let toks = tokenize("let x = foo();\nlet y = bar;\n");
+        assert_eq!(idents("let x = foo();\nlet y = bar;\n"), ["let", "x", "foo", "let", "y", "bar"]);
+        let bar = toks.iter().find(|t| t.ident() == Some("bar")).unwrap();
+        assert_eq!(bar.line, 2);
+    }
+
+    #[test]
+    fn comments_are_tokens_not_code() {
+        let toks = tokenize("// HashMap here\n/* HashSet\n nested /* deeper */ done */ real");
+        assert_eq!(
+            toks.iter().filter(|t| t.is_comment()).count(),
+            2,
+            "one line + one nested block comment"
+        );
+        assert_eq!(idents("// HashMap\nx"), ["x"]);
+        // The nested block comment swallowed everything up to the final ident.
+        assert_eq!(toks.last().unwrap().ident(), Some("real"));
+    }
+
+    #[test]
+    fn line_comment_text_is_kept() {
+        let toks = tokenize("//  simlint::allow(D1, \"why\")\n");
+        match &toks[0].kind {
+            TokKind::LineComment(text) => assert!(text.contains("simlint::allow")),
+            other => panic!("expected line comment, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(idents(r#"let s = "HashMap::iter()"; t"#), ["let", "s", "t"]);
+        assert_eq!(idents(r##"let s = r#"unwrap() "quoted" panic!"#; t"##), ["let", "s", "t"]);
+        assert_eq!(idents(r#"let s = b"expect("; t"#), ["let", "s", "t"]);
+        assert_eq!(idents("let s = c\"thread_rng\"; t"), ["let", "s", "t"]);
+    }
+
+    #[test]
+    fn multiline_strings_count_lines() {
+        let toks = tokenize("let s = \"a\nb\nc\";\nafter");
+        let after = toks.iter().find(|t| t.ident() == Some("after")).unwrap();
+        assert_eq!(after.line, 4);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = tokenize("let c = 'a'; fn f<'a>(x: &'a str) {} let esc = '\\n'; let p = '(';");
+        let chars = toks.iter().filter(|t| t.kind == TokKind::Char).count();
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        assert_eq!(chars, 3, "'a', escaped newline and '('");
+        assert_eq!(lifetimes, 2, "declaration and use of 'a");
+    }
+
+    #[test]
+    fn raw_identifier_unescapes() {
+        assert_eq!(idents("let r#type = 1; r#match"), ["let", "type", "match"]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges_or_methods() {
+        let toks = tokenize("0..10");
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2);
+        assert_eq!(idents("1.5e-3 1.max(2)"), ["max"]);
+    }
+
+    #[test]
+    fn punctuation_sequences_survive() {
+        let toks = tokenize("SystemTime::now()");
+        assert_eq!(toks[0].ident(), Some("SystemTime"));
+        assert!(toks[1].is_punct(':') && toks[2].is_punct(':'));
+        assert_eq!(toks[3].ident(), Some("now"));
+    }
+}

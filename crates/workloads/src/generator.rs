@@ -61,6 +61,7 @@ impl TraceGenerator {
     #[must_use]
     pub fn new(profile: &BenchmarkProfile, seed: u64) -> Self {
         if let Err(msg) = profile.validate() {
+            // simlint::allow(panic-path, "documented `# Panics` constructor; the 26 shipped profiles are validated by tests")
             panic!("invalid benchmark profile {}: {msg}", profile.name);
         }
         Self {

@@ -1,0 +1,74 @@
+//! The workspace must stay simlint-clean: every determinism rule (no unordered
+//! containers, no ambient entropy, no shape-dependent parallel reductions, no
+//! lossy counter casts, no panic paths, derives on Stats/Config structs) holds
+//! across `crates/`, `tests/` and `examples/`, with intentional exceptions
+//! acknowledged via `// simlint::allow(rule, "reason")`.
+//!
+//! These tests shell out to the real binary so the CLI contract (exit codes,
+//! `file:line:rule` diagnostics, JSON schema) is pinned, not just the library.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn workspace_root() -> PathBuf {
+    // tests/ lives directly under the workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .expect("tests/ has a parent")
+        .to_path_buf()
+}
+
+fn simlint(args: &[&str]) -> Output {
+    let root = workspace_root();
+    Command::new(env!("CARGO"))
+        .args(["run", "-p", "simlint", "--quiet", "--"])
+        .args(args)
+        .current_dir(&root)
+        .output()
+        .expect("failed to spawn cargo run -p simlint")
+}
+
+#[test]
+fn workspace_is_simlint_clean() {
+    let out = simlint(&["check"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "simlint found violations in the workspace:\n{stdout}\n{stderr}"
+    );
+    assert!(stdout.contains("0 violation(s)"), "unexpected summary: {stdout}");
+}
+
+#[test]
+fn bad_fixtures_fail_with_file_line_rule_diagnostics() {
+    let out = simlint(&["check", "crates/simlint/fixtures/bad"]);
+    assert_eq!(out.status.code(), Some(1), "violations must exit 1");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // One representative pinned diagnostic per severity of interest; the
+    // full per-line coverage lives in simlint's own fixture tests.
+    assert!(
+        stdout.contains("d4_lossy_cast.rs:5: D4 [lossy-counter-cast]"),
+        "missing pinned D4 diagnostic:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("d5_panic_path.rs:4: D5 [panic-path]"),
+        "missing pinned D5 diagnostic:\n{stdout}"
+    );
+}
+
+#[test]
+fn json_format_reports_the_same_violations() {
+    let out = simlint(&["check", "--format", "json", "crates/simlint/fixtures/bad"]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for key in ["\"version\":1", "\"diagnostics\":[", "\"rule\":\"D5\"", "\"line\":"] {
+        assert!(stdout.contains(key), "JSON output missing {key}:\n{stdout}");
+    }
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = simlint(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2), "unknown subcommand must exit 2");
+}
