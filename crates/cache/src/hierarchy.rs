@@ -169,6 +169,21 @@ struct L1Side {
     victim_latency: u32,
 }
 
+/// What one [`L1Side::access`] did, carried to the L2 stage of the access.
+struct L1Outcome {
+    /// Latency accumulated on the L1 side so far.
+    latency: u32,
+    /// Level that served the request, or `None` if it continues to the L2.
+    served: Option<HitLevel>,
+    /// Block address of a dirty block this access pushed out of the L1 side
+    /// (an uncovered dirty eviction, or a dirty block displaced out of the
+    /// victim cache) that now owes a write-back.
+    dirty_victim: Option<u64>,
+    /// Whether the demand fill could not allocate (set with zero usable ways).
+    /// Carried here so the L2 stage never has to re-probe the L1 side.
+    bypassed: bool,
+}
+
 impl L1Side {
     fn build(effective: &EffectiveL1) -> Self {
         let cache = match &effective.disabled {
@@ -191,15 +206,19 @@ impl L1Side {
         }
     }
 
-    /// Accesses this L1 (and its victim cache). Returns `(latency so far, served,
-    /// dirty victim)` where `served` is `None` if the request must continue to the
-    /// next level and the dirty victim is the block address of a dirty block this
-    /// access pushed out of the L1 side (an uncovered dirty eviction, or a dirty
-    /// block displaced out of the victim cache) that now owes a write-back.
-    fn access(&mut self, addr: u64, write: bool) -> (u32, Option<HitLevel>, Option<u64>) {
+    /// Accesses this L1 (and its victim cache). See [`L1Outcome`] for what the
+    /// caller learns; `served` is `None` if the request must continue to the
+    /// next level.
+    #[inline]
+    fn access(&mut self, addr: u64, write: bool) -> L1Outcome {
         let outcome = self.cache.access(addr, write);
         if outcome.hit {
-            return (self.hit_latency, Some(HitLevel::L1), None);
+            return L1Outcome {
+                latency: self.hit_latency,
+                served: Some(HitLevel::L1),
+                dirty_victim: None,
+                bypassed: false,
+            };
         }
         // The demand access allocated (or bypassed); handle the eviction and probe the
         // victim cache. The probe overlaps with the start of the L2 access, so its
@@ -220,13 +239,19 @@ impl L1Side {
                 } else if prior_dirty {
                     self.cache.mark_dirty(addr);
                 }
-                return (
-                    self.hit_latency + self.victim_latency,
-                    Some(HitLevel::Victim),
+                return L1Outcome {
+                    latency: self.hit_latency + self.victim_latency,
+                    served: Some(HitLevel::Victim),
                     dirty_victim,
-                );
+                    bypassed: outcome.bypassed,
+                };
             }
-            (self.hit_latency, None, dirty_victim)
+            L1Outcome {
+                latency: self.hit_latency,
+                served: None,
+                dirty_victim,
+                bypassed: outcome.bypassed,
+            }
         } else {
             // No victim cache: a dirty eviction goes straight to the write-back path.
             let dirty_victim = if outcome.evicted_dirty {
@@ -234,7 +259,12 @@ impl L1Side {
             } else {
                 None
             };
-            (self.hit_latency, None, dirty_victim)
+            L1Outcome {
+                latency: self.hit_latency,
+                served: None,
+                dirty_victim,
+                bypassed: outcome.bypassed,
+            }
         }
     }
 
@@ -250,11 +280,6 @@ impl L1Side {
 
     fn has_victim(&self) -> bool {
         self.victim.is_some()
-    }
-
-    fn was_bypassed(&self, addr: u64) -> bool {
-        !self.cache.probe(addr)
-            && !self.victim.as_ref().is_some_and(|v| v.probe(addr))
     }
 }
 
@@ -393,6 +418,57 @@ impl CacheHierarchy {
         result
     }
 
+    /// Accesses the data side with a whole slice of `(address, is_store)`
+    /// pairs, appending one [`AccessResult`] per access (in order) to
+    /// `results`.
+    ///
+    /// Semantically identical to calling [`CacheHierarchy::access_data`] once
+    /// per element — the batch is processed strictly in slice order — but the
+    /// per-access entry cost (dispatch, field split-borrows, and in debug
+    /// builds the accounting invariants, checked once per batch instead of
+    /// once per access) is paid once per slice. Callers that accumulate
+    /// naturally batched work (a commit stage's stores, a trace chunk, a
+    /// benchmark stream) should prefer this entry point.
+    pub fn access_data_batch(&mut self, accesses: &[(u64, bool)], results: &mut Vec<AccessResult>) {
+        results.reserve(accesses.len());
+        for &(addr, write) in accesses {
+            results.push(Self::access_side(
+                &mut self.l1d,
+                &mut self.l2,
+                &mut self.memory_accesses,
+                &mut self.writebacks,
+                &mut self.memory_writebacks,
+                self.l2_hit_latency,
+                self.config.memory_latency,
+                addr,
+                write,
+            ));
+        }
+        self.debug_check_accounting();
+    }
+
+    /// Accesses the instruction side with a whole slice of fetch addresses,
+    /// appending one [`AccessResult`] per address (in order) to `results`.
+    /// The instruction-side counterpart of
+    /// [`CacheHierarchy::access_data_batch`].
+    pub fn access_instr_batch(&mut self, addrs: &[u64], results: &mut Vec<AccessResult>) {
+        results.reserve(addrs.len());
+        for &addr in addrs {
+            results.push(Self::access_side(
+                &mut self.l1i,
+                &mut self.l2,
+                &mut self.memory_accesses,
+                &mut self.writebacks,
+                &mut self.memory_writebacks,
+                self.l2_hit_latency,
+                self.config.memory_latency,
+                addr,
+                false,
+            ));
+        }
+        self.debug_check_accounting();
+    }
+
     /// Drains a dirty block the L1 side pushed out (or wrote through): it is
     /// written back into the L2 if its line is still resident there, and to
     /// memory otherwise.
@@ -411,6 +487,7 @@ impl CacheHierarchy {
     }
 
     #[allow(clippy::too_many_arguments)] // split borrows of the hierarchy's fields
+    #[inline]
     fn access_side(
         l1: &mut L1Side,
         l2: &mut SetAssocCache,
@@ -422,10 +499,13 @@ impl CacheHierarchy {
         addr: u64,
         write: bool,
     ) -> AccessResult {
-        let (latency, served, dirty_victim) = l1.access(addr, write);
-        Self::drain_writeback(l2, writebacks, memory_writebacks, dirty_victim);
-        if let Some(level) = served {
-            return AccessResult { latency, level };
+        let l1_outcome = l1.access(addr, write);
+        Self::drain_writeback(l2, writebacks, memory_writebacks, l1_outcome.dirty_victim);
+        if let Some(level) = l1_outcome.served {
+            return AccessResult {
+                latency: l1_outcome.latency,
+                level,
+            };
         }
         // L1 (and victim) missed: go to the L2. A dirty block the L2 fill evicts
         // drains to memory (the L2 is the last cache level).
@@ -440,10 +520,14 @@ impl CacheHierarchy {
             HitLevel::Memory
         };
         let total = match level {
-            HitLevel::L2 => latency + l2_latency,
-            _ => latency + l2_latency + memory_latency,
+            HitLevel::L2 => l1_outcome.latency + l2_latency,
+            _ => l1_outcome.latency + l2_latency + memory_latency,
         };
-        if l1.was_bypassed(addr) {
+        // The L1 outcome already says whether the fill was bypassed, so no
+        // re-probe of the L1 side is needed here: on this `served == None`
+        // path a bypassed block is in neither the L1 (never allocated) nor
+        // the victim cache (the `take` probe just missed).
+        if l1_outcome.bypassed {
             if l1.has_victim() {
                 let displaced = l1.fill_bypassed(addr, write);
                 Self::drain_writeback(l2, writebacks, memory_writebacks, displaced);
@@ -900,6 +984,33 @@ mod tests {
             CacheHierarchy::with_all_fault_maps(cfg, None, None, Some(&l1_shaped)).unwrap_err(),
             DisableError::GeometryMismatch
         );
+    }
+
+    #[test]
+    fn batched_accesses_match_the_scalar_entry_point() {
+        let cfg = HierarchyConfig::ispass2010(DisablingScheme::Baseline, VoltageMode::High)
+            .with_victim_caches(VictimCacheConfig::ispass2010_10t());
+        let mut scalar = CacheHierarchy::new(cfg);
+        let mut batched = CacheHierarchy::new(cfg);
+        let stream: Vec<(u64, bool)> = (0..5_000u64)
+            .map(|i| ((i * 97) % (1 << 21), i % 4 == 0))
+            .collect();
+        let expected: Vec<AccessResult> =
+            stream.iter().map(|&(a, w)| scalar.access_data(a, w)).collect();
+        let mut got = Vec::new();
+        for chunk in stream.chunks(7) {
+            batched.access_data_batch(chunk, &mut got);
+        }
+        assert_eq!(got, expected);
+        assert_eq!(batched.stats(), scalar.stats());
+
+        // Instruction side too.
+        let addrs: Vec<u64> = (0..2_000u64).map(|i| (i * 193) % (1 << 20)).collect();
+        let expected: Vec<AccessResult> = addrs.iter().map(|&a| scalar.access_instr(a)).collect();
+        let mut got = Vec::new();
+        batched.access_instr_batch(&addrs, &mut got);
+        assert_eq!(got, expected);
+        assert_eq!(batched.stats(), scalar.stats());
     }
 
     #[test]

@@ -13,11 +13,18 @@
 use crate::stats::CacheStats;
 
 /// A fully-associative victim cache with true-LRU replacement.
+///
+/// The recency clock is a `u64` (like [`crate::SetAssocCache`]'s): a 32-bit
+/// clock wraps after 2^32 insert/touch operations and inverts the LRU order.
+/// Invalid entries carry no meaningful LRU value and are never compared —
+/// victim selection prefers them structurally (first invalid slot) before any
+/// recency comparison happens, so no sentinel value exists to collide with a
+/// live clock.
 #[derive(Debug, Clone)]
 pub struct VictimCache {
     block_bytes: u64,
     entries: Vec<Entry>,
-    lru_clock: u32,
+    lru_clock: u64,
     stats: CacheStats,
 }
 
@@ -26,7 +33,8 @@ struct Entry {
     valid: bool,
     block_addr: u64,
     dirty: bool,
-    lru: u32,
+    /// Only meaningful while `valid`; never compared otherwise.
+    lru: u64,
 }
 
 impl Entry {
@@ -35,7 +43,7 @@ impl Entry {
             valid: false,
             block_addr: 0,
             dirty: false,
-            lru: u32::MAX,
+            lru: 0,
         }
     }
 }
@@ -78,6 +86,14 @@ impl VictimCache {
     /// Resets the access statistics (contents are preserved).
     pub fn reset_stats(&mut self) {
         self.stats = CacheStats::default();
+    }
+
+    /// Advances the LRU clock to at least `clock` without touching any entry.
+    ///
+    /// Test hook for long-horizon regression tests (the clock only moves
+    /// forward, so recency stays monotonic).
+    pub fn fast_forward_lru_clock(&mut self, clock: u64) {
+        self.lru_clock = self.lru_clock.max(clock);
     }
 
     fn block_of(&self, addr: u64) -> u64 {
@@ -145,17 +161,20 @@ impl VictimCache {
             return None;
         }
 
-        // Prefer an invalid entry, otherwise evict the LRU one. `entries` was
-        // checked non-empty above, so the minimum exists; degrade to a
-        // pass-through displacement rather than panicking if it ever does not.
-        let Some(victim_idx) = self
-            .entries
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| if e.valid { (1, e.lru) } else { (0, 0) })
-            .map(|(i, _)| i)
-        else {
-            return Some((block, dirty));
+        // Prefer the first invalid entry; only when every entry is valid does
+        // recency get compared, so invalid entries never need an LRU value.
+        // `entries` was checked non-empty above, so both arms are well defined.
+        let victim_idx = match self.entries.iter().position(|e| !e.valid) {
+            Some(idx) => idx,
+            None => {
+                let mut best = 0;
+                for (idx, e) in self.entries.iter().enumerate().skip(1) {
+                    if e.lru < self.entries[best].lru {
+                        best = idx;
+                    }
+                }
+                best
+            }
         };
         let displaced = {
             let e = &self.entries[victim_idx];
@@ -246,6 +265,20 @@ mod tests {
         assert_eq!(s.accesses, 3);
         assert_eq!(s.hits, 1);
         assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn lru_survives_the_u32_clock_horizon() {
+        // Straddle 2^32 with the recency clock: a 32-bit clock would wrap and
+        // displace the most recently touched entry instead of the LRU one.
+        let mut v = VictimCache::new(2, 64);
+        v.fast_forward_lru_clock(u64::from(u32::MAX) - 2);
+        v.insert(0x1000, false); // lru = 2^32 - 2
+        v.insert(0x2000, false); // lru = 2^32 - 1
+        assert!(v.touch(0x1000)); // lru = 2^32 (would be 0 under a u32 clock)
+        let displaced = v.insert(0x3000, false);
+        assert_eq!(displaced, Some((0x2000, false)), "0x2000 is the true LRU entry");
+        assert!(v.probe(0x1000));
     }
 
     #[test]

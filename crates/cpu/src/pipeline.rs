@@ -180,11 +180,20 @@ impl Pipeline {
         let mut last_progress_cycle: u64 = 0;
         let mut last_committed: u64 = 0;
 
+        // Stores retiring in one cycle update the data cache as a single batch
+        // (in commit order); both buffers are reused across cycles. The store
+        // results are latency-irrelevant (retirement is off the critical path)
+        // but the accesses themselves mutate the cache state, so they must
+        // happen here, in program order.
+        let mut store_batch: Vec<(u64, bool)> = Vec::with_capacity(cfg.commit_width as usize);
+        let mut store_results = Vec::with_capacity(cfg.commit_width as usize);
+
         loop {
             // ------------------------------------------------------------------
             // 1. Commit: retire completed instructions in order.
             // ------------------------------------------------------------------
             let mut commits = 0;
+            store_batch.clear();
             while commits < cfg.commit_width {
                 match rob.front() {
                     Some(head) if head.state == EntryState::Completed && head.complete_cycle <= cycle => {}
@@ -197,7 +206,7 @@ impl Pipeline {
                         // Stores update the data cache at retirement; the access
                         // latency is off the critical path of the pipeline.
                         if let Some(addr) = head.mem_addr {
-                            self.hierarchy.access_data(addr, true);
+                            store_batch.push((addr, true));
                         }
                         stores += 1;
                     } else {
@@ -214,6 +223,10 @@ impl Pipeline {
                 oldest_inflight_seq = head.seq + 1;
                 committed += 1;
                 commits += 1;
+            }
+            if !store_batch.is_empty() {
+                store_results.clear();
+                self.hierarchy.access_data_batch(&store_batch, &mut store_results);
             }
 
             // ------------------------------------------------------------------

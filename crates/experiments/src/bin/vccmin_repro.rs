@@ -47,7 +47,8 @@ use std::process::ExitCode;
 use vccmin_experiments::analysis_figures as af;
 use vccmin_experiments::report::FigureTable;
 use vccmin_experiments::simulation::{
-    GovernorStudy, HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy, SimulationParams,
+    FaultMapPool, GovernorStudy, HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy,
+    SimulationParams,
 };
 use vccmin_experiments::yield_study::{YieldParams, YieldStudy};
 use vccmin_experiments::{L2Protection, OverheadTable, SchemeConfig};
@@ -262,7 +263,13 @@ fn run_analysis(out: &mut dyn Write, csv: bool) {
     print_table1(out);
 }
 
-fn run_lowvolt(out: &mut dyn Write, params: &SimulationParams, csv: bool, serial: bool) {
+fn run_lowvolt(
+    out: &mut dyn Write,
+    params: &SimulationParams,
+    pool: &FaultMapPool,
+    csv: bool,
+    serial: bool,
+) {
     eprintln!(
         "running low-voltage campaign: {} benchmarks x {} fault-map pairs x {} instructions ({})",
         params.benchmarks.len(),
@@ -270,11 +277,7 @@ fn run_lowvolt(out: &mut dyn Write, params: &SimulationParams, csv: bool, serial
         params.instructions,
         executor_label(serial),
     );
-    let study = if serial {
-        LowVoltageStudy::run(params)
-    } else {
-        LowVoltageStudy::run_parallel(params)
-    };
+    let study = LowVoltageStudy::run_with_pool(params, pool, serial);
     emit(out, &study.figure8(), csv);
     emit(out, &study.figure9(), csv);
     emit(out, &study.figure10(), csv);
@@ -303,6 +306,7 @@ fn run_lowvolt(out: &mut dyn Write, params: &SimulationParams, csv: bool, serial
 fn run_schemes(
     out: &mut dyn Write,
     params: &SimulationParams,
+    pool: &FaultMapPool,
     csv: bool,
     serial: bool,
     scheme: Option<SchemeConfig>,
@@ -320,14 +324,19 @@ fn run_schemes(
         executor_label(serial),
     );
     let study = match scheme {
-        Some(s) => SchemeMatrixStudy::run_single(params, s, serial),
-        None if serial => SchemeMatrixStudy::run(params),
-        None => SchemeMatrixStudy::run_parallel(params),
+        Some(s) => SchemeMatrixStudy::run_single_with_pool(params, pool, s, serial),
+        None => SchemeMatrixStudy::run_with_pool(params, pool, serial),
     };
     emit(out, &study.table(), csv);
 }
 
-fn run_governor(out: &mut dyn Write, params: &SimulationParams, csv: bool, serial: bool) {
+fn run_governor(
+    out: &mut dyn Write,
+    params: &SimulationParams,
+    pool: &FaultMapPool,
+    csv: bool,
+    serial: bool,
+) {
     eprintln!(
         "running governor campaign: {} benchmarks x {} policies x {} fault-map pairs x {} instructions ({})",
         params.benchmarks.len(),
@@ -336,11 +345,7 @@ fn run_governor(out: &mut dyn Write, params: &SimulationParams, csv: bool, seria
         params.instructions,
         executor_label(serial),
     );
-    let study = if serial {
-        GovernorStudy::run(params)
-    } else {
-        GovernorStudy::run_parallel(params)
-    };
+    let study = GovernorStudy::run_with_pool(params, pool, serial);
     let table = study.table();
     emit(out, &table, csv);
     let means = table.series_means();
@@ -363,18 +368,20 @@ fn run_governor(out: &mut dyn Write, params: &SimulationParams, csv: bool, seria
     );
 }
 
-fn run_highvolt(out: &mut dyn Write, params: &SimulationParams, csv: bool, serial: bool) {
+fn run_highvolt(
+    out: &mut dyn Write,
+    params: &SimulationParams,
+    pool: &FaultMapPool,
+    csv: bool,
+    serial: bool,
+) {
     eprintln!(
         "running high-voltage campaign: {} benchmarks x {} instructions ({})",
         params.benchmarks.len(),
         params.instructions,
         executor_label(serial),
     );
-    let study = if serial {
-        HighVoltageStudy::run(params)
-    } else {
-        HighVoltageStudy::run_parallel(params)
-    };
+    let study = HighVoltageStudy::run_with_pool(params, pool, serial);
     emit(out, &study.figure11(), csv);
     emit(out, &study.figure12(), csv);
 }
@@ -448,17 +455,25 @@ fn main() -> ExitCode {
         "fig7" => emit(out, &af::figure7(af::DEFAULT_STEPS), csv),
         "table1" => print_table1(out),
         "analysis" => run_analysis(out, csv),
-        "fig8" | "fig9" | "fig10" | "lowvolt" => run_lowvolt(out, p, csv, serial),
-        "fig11" | "fig12" | "highvolt" => run_highvolt(out, p, csv, serial),
-        "schemes" => run_schemes(out, p, csv, serial, options.scheme),
-        "governor" => run_governor(out, p, csv, serial),
+        "fig8" | "fig9" | "fig10" | "lowvolt" => {
+            run_lowvolt(out, p, &FaultMapPool::new(p), csv, serial);
+        }
+        "fig11" | "fig12" | "highvolt" => {
+            run_highvolt(out, p, &FaultMapPool::new(p), csv, serial);
+        }
+        "schemes" => run_schemes(out, p, &FaultMapPool::new(p), csv, serial, options.scheme),
+        "governor" => run_governor(out, p, &FaultMapPool::new(p), csv, serial),
         "yield" => run_yield(out, &options.yield_params, csv, serial),
         "all" => {
+            // One pool for the whole session: the four simulation campaigns
+            // share identical master-seed-derived fault maps, so they are
+            // generated once here instead of once per campaign.
+            let pool = FaultMapPool::new(p);
             run_analysis(out, csv);
-            run_lowvolt(out, p, csv, serial);
-            run_highvolt(out, p, csv, serial);
-            run_schemes(out, p, csv, serial, None);
-            run_governor(out, p, csv, serial);
+            run_lowvolt(out, p, &pool, csv, serial);
+            run_highvolt(out, p, &pool, csv, serial);
+            run_schemes(out, p, &pool, csv, serial, None);
+            run_governor(out, p, &pool, csv, serial);
             run_yield(out, &options.yield_params, csv, serial);
         }
         other => {

@@ -77,7 +77,7 @@ pub use governor::{
 };
 pub use overhead::{OverheadRow, OverheadTable};
 pub use simulation::{
-    BenchmarkResult, GovernorBenchmarkResult, GovernorPolicyResult, GovernorStudy,
+    BenchmarkResult, FaultMapPool, GovernorBenchmarkResult, GovernorPolicyResult, GovernorStudy,
     HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy, SimulationParams,
     GOVERNOR_POLICY_LABELS,
 };

@@ -14,6 +14,8 @@
 //! chosen scheme's effective L2 organization — including whole-cache failure
 //! on the L2 — feeds the same accounting as the L1 schemes.
 
+use std::sync::OnceLock;
+
 use rayon::prelude::*;
 use vccmin_analysis::voltage::VoltageScalingModel;
 use vccmin_cache::{
@@ -218,15 +220,19 @@ fn simulate(
 
 /// Generates the campaign's fault-map pairs (instruction cache, data cache).
 fn fault_map_pairs(params: &SimulationParams) -> Vec<(FaultMap, FaultMap)> {
+    generate_fault_map_pairs(params.master_seed, params.pfail, params.fault_map_pairs)
+}
+
+fn generate_fault_map_pairs(master_seed: u64, pfail: f64, count: usize) -> Vec<(FaultMap, FaultMap)> {
     let geom = CacheGeometry::ispass2010_l1();
-    let mut seeds = SeedSequence::new(params.master_seed).fork("fault-maps");
-    (0..params.fault_map_pairs)
+    let mut seeds = SeedSequence::new(master_seed).fork("fault-maps");
+    (0..count)
         .map(|_| {
             let si = seeds.next_seed();
             let sd = seeds.next_seed();
             (
-                FaultMap::generate(&geom, params.pfail, si),
-                FaultMap::generate(&geom, params.pfail, sd),
+                FaultMap::generate(&geom, pfail, si),
+                FaultMap::generate(&geom, pfail, sd),
             )
         })
         .collect()
@@ -236,11 +242,85 @@ fn fault_map_pairs(params: &SimulationParams) -> Vec<(FaultMap, FaultMap)> {
 /// fork of their own: the L1 pairs are bit-identical whether or not the L2 axis
 /// is enabled.
 fn l2_fault_maps(params: &SimulationParams) -> Vec<FaultMap> {
+    generate_l2_fault_maps(params.master_seed, params.pfail, params.fault_map_pairs)
+}
+
+fn generate_l2_fault_maps(master_seed: u64, pfail: f64, count: usize) -> Vec<FaultMap> {
     let geom = CacheGeometry::ispass2010_l2();
-    let mut seeds = SeedSequence::new(params.master_seed).fork("l2-fault-maps");
-    (0..params.fault_map_pairs)
-        .map(|_| FaultMap::generate(&geom, params.pfail, seeds.next_seed()))
+    let mut seeds = SeedSequence::new(master_seed).fork("l2-fault-maps");
+    (0..count)
+        .map(|_| FaultMap::generate(&geom, pfail, seeds.next_seed()))
         .collect()
+}
+
+/// The fault maps of one campaign parameter set, generated once and shared.
+///
+/// Historically every study (and every `run`/`run_parallel` call within a
+/// study) regenerated the same fault-map pairs and L2 maps from
+/// `params.master_seed` — per (config, benchmark) campaign entry the maps were
+/// identical, only rebuilt. A pool derives them from the same
+/// [`SeedSequence`] forks exactly once, lazily per cache level (a
+/// high-voltage-only campaign never generates L1 pairs; a perfect-L2 campaign
+/// never generates L2 maps), and hands out shared slices, so campaigns that
+/// run several studies over one parameter set (`vccmin-repro all`) reuse one
+/// set of maps bit-identically.
+#[derive(Debug)]
+pub struct FaultMapPool {
+    master_seed: u64,
+    pfail: f64,
+    pair_count: usize,
+    pairs: OnceLock<Vec<(FaultMap, FaultMap)>>,
+    l2: OnceLock<Vec<FaultMap>>,
+}
+
+impl FaultMapPool {
+    /// A pool for `params`. Nothing is generated until first use.
+    #[must_use]
+    pub fn new(params: &SimulationParams) -> Self {
+        Self {
+            master_seed: params.master_seed,
+            pfail: params.pfail,
+            pair_count: params.fault_map_pairs,
+            pairs: OnceLock::new(),
+            l2: OnceLock::new(),
+        }
+    }
+
+    /// Whether this pool was built from fault-map-equivalent parameters
+    /// (same master seed, failure probability and pair count).
+    #[must_use]
+    pub fn matches(&self, params: &SimulationParams) -> bool {
+        self.master_seed == params.master_seed
+            && self.pfail == params.pfail
+            && self.pair_count == params.fault_map_pairs
+    }
+
+    /// The campaign's L1 fault-map pairs (instruction cache, data cache),
+    /// bit-identical to [`SimulationParams::derived_fault_map_pairs`].
+    #[must_use]
+    pub fn pairs(&self) -> &[(FaultMap, FaultMap)] {
+        self.pairs
+            .get_or_init(|| generate_fault_map_pairs(self.master_seed, self.pfail, self.pair_count))
+    }
+
+    /// The campaign's L2 fault maps, one per pair, bit-identical to the maps
+    /// [`SimulationParams::derived_l2_fault_maps`] returns when needed.
+    #[must_use]
+    pub fn l2_maps(&self) -> &[FaultMap] {
+        self.l2
+            .get_or_init(|| generate_l2_fault_maps(self.master_seed, self.pfail, self.pair_count))
+    }
+
+    /// The campaign's L2 fault maps if `l2` actually needs them for any of
+    /// `schemes`, an empty slice otherwise (nothing is generated in that case).
+    #[must_use]
+    pub fn l2_maps_if_needed(&self, l2: L2Protection, schemes: &[SchemeConfig]) -> &[FaultMap] {
+        if l2.needs_fault_maps(schemes) {
+            self.l2_maps()
+        } else {
+            &[]
+        }
+    }
 }
 
 /// Trace seed for a benchmark, derived from the master seed so every configuration
@@ -399,25 +479,27 @@ fn campaign_jobs(
 /// bit-identical to [`run_campaign`] no matter how the jobs are scheduled.
 fn run_campaign_parallel(
     params: &SimulationParams,
+    pool: &FaultMapPool,
     schemes: &[SchemeConfig],
     voltage: VoltageMode,
 ) -> Vec<BenchmarkResult> {
-    let pairs = if voltage == VoltageMode::Low {
-        fault_map_pairs(params)
+    debug_assert!(pool.matches(params), "fault-map pool built from different parameters");
+    let pairs: &[(FaultMap, FaultMap)] = if voltage == VoltageMode::Low {
+        pool.pairs()
     } else {
-        Vec::new()
+        &[]
     };
-    let l2_maps = if voltage == VoltageMode::Low {
-        params.derived_l2_fault_maps(schemes)
+    let l2_maps: &[FaultMap] = if voltage == VoltageMode::Low {
+        pool.l2_maps_if_needed(params.l2, schemes)
     } else {
-        Vec::new()
+        &[]
     };
     let jobs = campaign_jobs(params, schemes, voltage, pairs.len());
     let outputs: Vec<JobOutput> = jobs
         .into_par_iter()
         .map(|job| match job {
             JobSpec::Whole { benchmark, scheme } => JobOutput::Whole(run_config(
-                params, &pairs, &l2_maps, benchmark, scheme, voltage,
+                params, pairs, l2_maps, benchmark, scheme, voltage,
             )),
             JobSpec::Pair {
                 benchmark,
@@ -479,18 +561,20 @@ fn run_campaign_parallel(
 /// is tested against.
 fn run_campaign(
     params: &SimulationParams,
+    pool: &FaultMapPool,
     schemes: &[SchemeConfig],
     voltage: VoltageMode,
 ) -> Vec<BenchmarkResult> {
-    let pairs = if voltage == VoltageMode::Low {
-        fault_map_pairs(params)
+    debug_assert!(pool.matches(params), "fault-map pool built from different parameters");
+    let pairs: &[(FaultMap, FaultMap)] = if voltage == VoltageMode::Low {
+        pool.pairs()
     } else {
-        Vec::new()
+        &[]
     };
-    let l2_maps = if voltage == VoltageMode::Low {
-        params.derived_l2_fault_maps(schemes)
+    let l2_maps: &[FaultMap] = if voltage == VoltageMode::Low {
+        pool.l2_maps_if_needed(params.l2, schemes)
     } else {
-        Vec::new()
+        &[]
     };
     params
         .benchmarks
@@ -499,7 +583,7 @@ fn run_campaign(
             benchmark,
             configs: schemes
                 .iter()
-                .map(|&scheme| run_config(params, &pairs, &l2_maps, benchmark, scheme, voltage))
+                .map(|&scheme| run_config(params, pairs, l2_maps, benchmark, scheme, voltage))
                 .collect(),
         })
         .collect()
@@ -527,9 +611,7 @@ impl LowVoltageStudy {
     /// [`LowVoltageStudy::run_parallel`] produces bit-identical results faster.
     #[must_use]
     pub fn run(params: &SimulationParams) -> Self {
-        Self {
-            benchmarks: run_campaign(params, &Self::SCHEMES, VoltageMode::Low),
-        }
+        Self::run_with_pool(params, &FaultMapPool::new(params), true)
     }
 
     /// Runs the campaign on all available cores, fanning out over
@@ -539,9 +621,21 @@ impl LowVoltageStudy {
     /// reassembled in job order.
     #[must_use]
     pub fn run_parallel(params: &SimulationParams) -> Self {
-        Self {
-            benchmarks: run_campaign_parallel(params, &Self::SCHEMES, VoltageMode::Low),
-        }
+        Self::run_with_pool(params, &FaultMapPool::new(params), false)
+    }
+
+    /// Runs the campaign against a shared [`FaultMapPool`] (serially when
+    /// `serial`), reusing maps already generated for another study instead of
+    /// regenerating them. Bit-identical to [`LowVoltageStudy::run`] /
+    /// [`LowVoltageStudy::run_parallel`].
+    #[must_use]
+    pub fn run_with_pool(params: &SimulationParams, pool: &FaultMapPool, serial: bool) -> Self {
+        let benchmarks = if serial {
+            run_campaign(params, pool, &Self::SCHEMES, VoltageMode::Low)
+        } else {
+            run_campaign_parallel(params, pool, &Self::SCHEMES, VoltageMode::Low)
+        };
+        Self { benchmarks }
     }
 
     /// Figure 8: performance normalized to the baseline *without* victim cache —
@@ -672,9 +766,7 @@ impl HighVoltageStudy {
     /// produces bit-identical results faster.
     #[must_use]
     pub fn run(params: &SimulationParams) -> Self {
-        Self {
-            benchmarks: run_campaign(params, &Self::SCHEMES, VoltageMode::High),
-        }
+        Self::run_with_pool(params, &FaultMapPool::new(params), true)
     }
 
     /// Runs the campaign on all available cores, one job per
@@ -682,9 +774,21 @@ impl HighVoltageStudy {
     /// [`HighVoltageStudy::run`].
     #[must_use]
     pub fn run_parallel(params: &SimulationParams) -> Self {
-        Self {
-            benchmarks: run_campaign_parallel(params, &Self::SCHEMES, VoltageMode::High),
-        }
+        Self::run_with_pool(params, &FaultMapPool::new(params), false)
+    }
+
+    /// Runs the campaign against a shared [`FaultMapPool`] (serially when
+    /// `serial`). The high-voltage campaign needs no fault maps, so the pool
+    /// is only consulted, never populated — the signature exists so every
+    /// study in a multi-study session threads the same pool through.
+    #[must_use]
+    pub fn run_with_pool(params: &SimulationParams, pool: &FaultMapPool, serial: bool) -> Self {
+        let benchmarks = if serial {
+            run_campaign(params, pool, &Self::SCHEMES, VoltageMode::High)
+        } else {
+            run_campaign_parallel(params, pool, &Self::SCHEMES, VoltageMode::High)
+        };
+        Self { benchmarks }
     }
 
     /// Figure 11: high-voltage performance normalized to the baseline without victim
@@ -761,20 +865,29 @@ impl SchemeMatrixStudy {
     /// Runs the full scheme matrix serially.
     #[must_use]
     pub fn run(params: &SimulationParams) -> Self {
-        let schemes = Self::matrix_schemes();
-        Self {
-            benchmarks: run_campaign(params, &schemes, VoltageMode::Low),
-            schemes: schemes.to_vec(),
-        }
+        Self::run_with_pool(params, &FaultMapPool::new(params), true)
     }
 
     /// Runs the full scheme matrix on all available cores (bit-identical to
     /// [`SchemeMatrixStudy::run`]).
     #[must_use]
     pub fn run_parallel(params: &SimulationParams) -> Self {
+        Self::run_with_pool(params, &FaultMapPool::new(params), false)
+    }
+
+    /// Runs the full scheme matrix against a shared [`FaultMapPool`] (serially
+    /// when `serial`). Bit-identical to [`SchemeMatrixStudy::run`] /
+    /// [`SchemeMatrixStudy::run_parallel`].
+    #[must_use]
+    pub fn run_with_pool(params: &SimulationParams, pool: &FaultMapPool, serial: bool) -> Self {
         let schemes = Self::matrix_schemes();
+        let benchmarks = if serial {
+            run_campaign(params, pool, &schemes, VoltageMode::Low)
+        } else {
+            run_campaign_parallel(params, pool, &schemes, VoltageMode::Low)
+        };
         Self {
-            benchmarks: run_campaign_parallel(params, &schemes, VoltageMode::Low),
+            benchmarks,
             schemes: schemes.to_vec(),
         }
     }
@@ -782,14 +895,25 @@ impl SchemeMatrixStudy {
     /// Runs a single scheme (plus the baseline it is normalized to).
     #[must_use]
     pub fn run_single(params: &SimulationParams, scheme: SchemeConfig, serial: bool) -> Self {
+        Self::run_single_with_pool(params, &FaultMapPool::new(params), scheme, serial)
+    }
+
+    /// [`SchemeMatrixStudy::run_single`] against a shared [`FaultMapPool`].
+    #[must_use]
+    pub fn run_single_with_pool(
+        params: &SimulationParams,
+        pool: &FaultMapPool,
+        scheme: SchemeConfig,
+        serial: bool,
+    ) -> Self {
         let mut schemes = vec![SchemeConfig::Baseline];
         if scheme != SchemeConfig::Baseline {
             schemes.push(scheme);
         }
         let benchmarks = if serial {
-            run_campaign(params, &schemes, VoltageMode::Low)
+            run_campaign(params, pool, &schemes, VoltageMode::Low)
         } else {
-            run_campaign_parallel(params, &schemes, VoltageMode::Low)
+            run_campaign_parallel(params, pool, &schemes, VoltageMode::Low)
         };
         Self { benchmarks, schemes }
     }
@@ -1020,8 +1144,38 @@ impl GovernorStudy {
     /// [`GovernorStudy::run_parallel`] produces bit-identical results faster.
     #[must_use]
     pub fn run(params: &SimulationParams) -> Self {
-        let pairs = fault_map_pairs(params);
-        let l2_maps = params.derived_l2_fault_maps(&[Self::SCHEME]);
+        Self::run_with_pool(params, &FaultMapPool::new(params), true)
+    }
+
+    /// Runs the campaign on all available cores, fanning out over
+    /// benchmark × policy × fault-map pair. Bit-identical to
+    /// [`GovernorStudy::run`]: all randomness derives from the master seed and
+    /// results are reassembled in job order.
+    #[must_use]
+    pub fn run_parallel(params: &SimulationParams) -> Self {
+        Self::run_with_pool(params, &FaultMapPool::new(params), false)
+    }
+
+    /// Runs the campaign against a shared [`FaultMapPool`] (serially when
+    /// `serial`). Bit-identical to [`GovernorStudy::run`] /
+    /// [`GovernorStudy::run_parallel`].
+    #[must_use]
+    pub fn run_with_pool(params: &SimulationParams, pool: &FaultMapPool, serial: bool) -> Self {
+        debug_assert!(pool.matches(params), "fault-map pool built from different parameters");
+        let pairs = pool.pairs();
+        let l2_maps = pool.l2_maps_if_needed(params.l2, &[Self::SCHEME]);
+        if serial {
+            Self::run_serial_on(params, pairs, l2_maps)
+        } else {
+            Self::run_parallel_on(params, pairs, l2_maps)
+        }
+    }
+
+    fn run_serial_on(
+        params: &SimulationParams,
+        pairs: &[(FaultMap, FaultMap)],
+        l2_maps: &[FaultMap],
+    ) -> Self {
         let phases = Self::phase_schedule(params);
         let benchmarks = params
             .benchmarks
@@ -1058,14 +1212,11 @@ impl GovernorStudy {
         Self { benchmarks }
     }
 
-    /// Runs the campaign on all available cores, fanning out over
-    /// benchmark × policy × fault-map pair. Bit-identical to
-    /// [`GovernorStudy::run`]: all randomness derives from the master seed and
-    /// results are reassembled in job order.
-    #[must_use]
-    pub fn run_parallel(params: &SimulationParams) -> Self {
-        let pairs = fault_map_pairs(params);
-        let l2_maps = params.derived_l2_fault_maps(&[Self::SCHEME]);
+    fn run_parallel_on(
+        params: &SimulationParams,
+        pairs: &[(FaultMap, FaultMap)],
+        l2_maps: &[FaultMap],
+    ) -> Self {
         let phases = Self::phase_schedule(params);
         let policies = Self::policies(params);
 
@@ -1327,6 +1478,48 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a[0].0, a[0].1, "instruction and data maps differ");
         assert_ne!(a[0].0, a[1].0, "pairs are independent");
+    }
+
+    #[test]
+    fn fault_map_pool_matches_the_derived_maps() {
+        let mut params = SimulationParams::smoke();
+        params.l2 = L2Protection::Matched;
+        let pool = FaultMapPool::new(&params);
+        assert!(pool.matches(&params));
+        assert_eq!(pool.pairs(), params.derived_fault_map_pairs());
+        assert_eq!(
+            pool.l2_maps_if_needed(L2Protection::Matched, &[SchemeConfig::BlockDisabling]),
+            params.derived_l2_fault_maps(&[SchemeConfig::BlockDisabling]).as_slice()
+        );
+        // A perfect L2 needs no maps and must not generate any.
+        assert!(pool
+            .l2_maps_if_needed(L2Protection::Perfect, &[SchemeConfig::BlockDisabling])
+            .is_empty());
+        let mut other = params.clone();
+        other.master_seed ^= 1;
+        assert!(!pool.matches(&other));
+    }
+
+    #[test]
+    fn pooled_studies_match_their_unpooled_reference() {
+        let mut params = SimulationParams::smoke();
+        params.benchmarks = vec![Benchmark::Gzip];
+        params.instructions = 4_000;
+        // One pool shared across every study of the session, exactly like the
+        // CLI's `all` target.
+        let pool = FaultMapPool::new(&params);
+        let low = LowVoltageStudy::run_with_pool(&params, &pool, false);
+        assert_eq!(low, LowVoltageStudy::run(&params));
+        let high = HighVoltageStudy::run_with_pool(&params, &pool, false);
+        assert_eq!(high, HighVoltageStudy::run(&params));
+        let gov = GovernorStudy::run_with_pool(&params, &pool, false);
+        assert_eq!(gov, GovernorStudy::run(&params));
+        let single =
+            SchemeMatrixStudy::run_single_with_pool(&params, &pool, SchemeConfig::WordDisabling, false);
+        assert_eq!(
+            single,
+            SchemeMatrixStudy::run_single(&params, SchemeConfig::WordDisabling, false)
+        );
     }
 
     #[test]

@@ -102,84 +102,98 @@ impl CacheGeometry {
     }
 
     /// Total data capacity in bytes.
+    #[inline]
     #[must_use]
     pub fn size_bytes(&self) -> u64 {
         self.size_bytes
     }
 
     /// Block (line) size in bytes.
+    #[inline]
     #[must_use]
     pub fn block_bytes(&self) -> u64 {
         self.block_bytes
     }
 
     /// Number of ways per set.
+    #[inline]
     #[must_use]
     pub fn associativity(&self) -> u64 {
         self.associativity
     }
 
     /// Tag width in bits.
+    #[inline]
     #[must_use]
     pub fn tag_bits(&self) -> u64 {
         self.tag_bits
     }
 
     /// Per-block metadata bits protected along with the block (valid bit).
+    #[inline]
     #[must_use]
     pub fn meta_bits(&self) -> u64 {
         self.meta_bits
     }
 
     /// Machine word size in bytes (4 in the paper: 32-bit words).
+    #[inline]
     #[must_use]
     pub fn word_bytes(&self) -> u64 {
         self.word_bytes
     }
 
     /// Number of sets.
+    #[inline]
     #[must_use]
     pub fn sets(&self) -> u64 {
         self.size_bytes / (self.block_bytes * self.associativity)
     }
 
     /// Total number of blocks.
+    #[inline]
     #[must_use]
     pub fn blocks(&self) -> u64 {
         self.size_bytes / self.block_bytes
     }
 
     /// Number of words per block.
+    #[inline]
     #[must_use]
     pub fn words_per_block(&self) -> u64 {
         self.block_bytes / self.word_bytes
     }
 
     /// Number of block-offset bits.
+    #[inline]
     #[must_use]
     pub fn offset_bits(&self) -> u32 {
         self.block_bytes.trailing_zeros()
     }
 
     /// Number of set-index bits.
+    #[inline]
     #[must_use]
     pub fn index_bits(&self) -> u32 {
         self.sets().trailing_zeros()
     }
 
     /// Set index for a byte address.
+    #[inline]
     #[must_use]
     pub fn set_of(&self, addr: u64) -> u64 {
         (addr >> self.offset_bits()) & (self.sets() - 1)
     }
 
     /// Tag value for a byte address.
+    #[inline]
     #[must_use]
     pub fn tag_of(&self, addr: u64) -> u64 {
         addr >> (self.offset_bits() + self.index_bits())
     }
 
     /// Block-aligned address reconstructed from a tag and set index.
+    #[inline]
     #[must_use]
     pub fn block_address(&self, tag: u64, set: u64) -> u64 {
         (tag << (self.offset_bits() + self.index_bits())) | (set << self.offset_bits())
