@@ -31,7 +31,10 @@
 //! * a closed-form time/energy/EDP model of a runtime voltage-mode governor
 //!   that alternates between nominal and below-Vcc-min execution —
 //!   [`governor`];
-//! * expected victim-cache entry survival at low voltage — [`victim`].
+//! * expected victim-cache entry survival at low voltage — [`victim`];
+//! * an exact, deterministic, mergeable quantile sketch for grid-valued
+//!   samples (the fleet yield campaign's Vcc-min distributions) —
+//!   [`quantile`].
 //!
 //! # Example
 //!
@@ -75,6 +78,7 @@ pub mod error;
 pub mod geometry;
 pub mod governor;
 pub mod incremental;
+pub mod quantile;
 pub mod victim;
 pub mod voltage;
 pub mod way_sacrifice;

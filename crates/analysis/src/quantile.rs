@@ -1,0 +1,255 @@
+//! A deterministic, mergeable quantile sketch for grid-valued samples.
+//!
+//! The fleet-scale yield campaign summarizes the per-scheme Vcc-min
+//! distribution of millions of dies without storing a value per die. Because a
+//! die's minimum operational voltage is always one of the campaign's grid
+//! voltages, the distribution is supported on a small fixed set of points — so
+//! an exact sketch is just a vector of per-bin counts. [`GridQuantileSketch`]
+//! packages that observation behind a quantile-sketch interface:
+//!
+//! * **exact** — every query (quantile, mean, min, max) is computed from the
+//!   full integer histogram, with zero approximation error;
+//! * **deterministic** — results depend only on the multiset of recorded bins,
+//!   never on insertion or merge order (counts are integers, and every
+//!   floating-point reduction walks the bins in ascending order);
+//! * **mergeable** — shard-local sketches combine by adding counts, which is
+//!   what makes the checkpointable sharded executor possible: an interrupted
+//!   campaign resumes from per-shard sketches and reaches the same aggregate
+//!   as an uninterrupted run, bit for bit.
+//!
+//! Memory is `O(bins)` regardless of population size, and a count is a `u64`,
+//! so the sketch holds ~1.8e19 samples per bin before overflow — far beyond
+//! any die population.
+
+/// An exact quantile sketch over values drawn from a fixed ascending grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GridQuantileSketch {
+    /// The support points, strictly ascending.
+    bins: Vec<f64>,
+    /// Number of recorded samples per support point.
+    counts: Vec<u64>,
+}
+
+impl GridQuantileSketch {
+    /// Creates an empty sketch over the given support points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins` is empty, contains a non-finite value, or is not
+    /// strictly ascending.
+    #[must_use]
+    pub fn new(bins: Vec<f64>) -> Self {
+        assert!(!bins.is_empty(), "a grid sketch needs at least one bin");
+        assert!(
+            bins.iter().all(|b| b.is_finite()),
+            "grid sketch bins must be finite"
+        );
+        assert!(
+            bins.windows(2).all(|w| w[0] < w[1]),
+            "grid sketch bins must be strictly ascending"
+        );
+        let counts = vec![0; bins.len()];
+        Self { bins, counts }
+    }
+
+    /// The support points, ascending.
+    #[must_use]
+    pub fn bins(&self) -> &[f64] {
+        &self.bins
+    }
+
+    /// The per-bin sample counts, parallel to [`GridQuantileSketch::bins`].
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Records `count` samples of the value at bin `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn record(&mut self, index: usize, count: u64) {
+        assert!(index < self.bins.len(), "bin index {index} out of range");
+        self.counts[index] += count;
+    }
+
+    /// Adds another sketch's counts into this one. Merge order never matters:
+    /// counts are integers and addition is associative and commutative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two sketches have different support grids.
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.bins, other.bins,
+            "can only merge sketches over the same grid"
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The smallest recorded value, or `None` if the sketch is empty.
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        self.counts
+            .iter()
+            .position(|&c| c > 0)
+            .map(|i| self.bins[i])
+    }
+
+    /// The largest recorded value, or `None` if the sketch is empty.
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        self.counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .map(|i| self.bins[i])
+    }
+
+    /// The arithmetic mean of the recorded values, or `None` if the sketch is
+    /// empty. Accumulated bin by bin in ascending order, so the result is
+    /// independent of insertion and merge order.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        let sum: f64 = self
+            .bins
+            .iter()
+            .zip(&self.counts)
+            .map(|(&b, &c)| b * c as f64)
+            .sum();
+        Some(sum / total as f64)
+    }
+
+    /// The `q`-quantile of the recorded values, or `None` if the sketch is
+    /// empty: the smallest support value `v` such that at least a fraction `q`
+    /// of the samples are `<= v` (so `quantile(0.0)` is the minimum and
+    /// `quantile(1.0)` the maximum). Exact — the rank is computed in integer
+    /// arithmetic over the histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0, 1]`.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile fraction {q} not in [0, 1]");
+        let total = self.total();
+        if total == 0 {
+            return None;
+        }
+        // Target rank in [1, total]: the ceiling of q * total, clamped so that
+        // q = 0 still needs one sample (the minimum).
+        let rank = (q * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Some(self.bins[i]);
+            }
+        }
+        self.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Vec<f64> {
+        vec![0.45, 0.475, 0.5, 0.525, 0.55]
+    }
+
+    #[test]
+    fn empty_sketch_reports_none() {
+        let s = GridQuantileSketch::new(grid());
+        assert_eq!(s.total(), 0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantiles_are_exact_on_a_known_histogram() {
+        let mut s = GridQuantileSketch::new(grid());
+        // 10 samples at 0.45, 30 at 0.5, 60 at 0.55.
+        s.record(0, 10);
+        s.record(2, 30);
+        s.record(4, 60);
+        assert_eq!(s.total(), 100);
+        assert_eq!(s.min(), Some(0.45));
+        assert_eq!(s.max(), Some(0.55));
+        assert_eq!(s.quantile(0.0), Some(0.45));
+        assert_eq!(s.quantile(0.05), Some(0.45));
+        assert_eq!(s.quantile(0.10), Some(0.45));
+        assert_eq!(s.quantile(0.11), Some(0.5));
+        assert_eq!(s.quantile(0.40), Some(0.5));
+        assert_eq!(s.quantile(0.41), Some(0.55));
+        assert_eq!(s.quantile(1.0), Some(0.55));
+        let mean = s.mean().unwrap();
+        assert!((mean - (0.45 * 10.0 + 0.5 * 30.0 + 0.55 * 60.0) / 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_is_order_independent_and_matches_bulk_recording() {
+        let mut bulk = GridQuantileSketch::new(grid());
+        bulk.record(1, 7);
+        bulk.record(3, 5);
+        bulk.record(4, 2);
+
+        let mut a = GridQuantileSketch::new(grid());
+        a.record(1, 4);
+        a.record(4, 2);
+        let mut b = GridQuantileSketch::new(grid());
+        b.record(1, 3);
+        b.record(3, 5);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab, bulk);
+    }
+
+    #[test]
+    fn single_bin_sketch_is_degenerate_but_well_defined() {
+        let mut s = GridQuantileSketch::new(vec![0.5]);
+        s.record(0, 3);
+        assert_eq!(s.quantile(0.0), Some(0.5));
+        assert_eq!(s.quantile(1.0), Some(0.5));
+        assert_eq!(s.mean(), Some(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn descending_bins_are_rejected() {
+        let _ = GridQuantileSketch::new(vec![0.5, 0.45]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same grid")]
+    fn merging_different_grids_is_rejected() {
+        let mut a = GridQuantileSketch::new(vec![0.1, 0.2]);
+        let b = GridQuantileSketch::new(vec![0.1, 0.3]);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn out_of_range_quantile_is_rejected() {
+        let s = GridQuantileSketch::new(vec![0.1]);
+        let _ = s.quantile(1.5);
+    }
+}

@@ -15,7 +15,7 @@ fn print_summary() {
     let half = fig3
         .rows
         .iter()
-        .find(|(_, v)| v[0] > 0.5)
+        .find(|(_, v)| v[0].unwrap_or(0.0) > 0.5)
         .map(|(k, _)| k.clone())
         .unwrap_or_default();
     println!("[fig3] faulty blocks exceed 50% at pfail ~ {half} (paper: ~0.0013)");
@@ -33,15 +33,15 @@ fn print_summary() {
         .rows
         .iter()
         .find(|(k, _)| k.starts_with("0.00100"))
-        .map(|(_, v)| v[0])
+        .and_then(|(_, v)| v[0])
         .unwrap_or(0.0);
     println!("[fig5] P(whole-cache failure) at pfail=0.001: {at_0001:.4} (paper: ~1e-3)");
 
     let fig7 = figures::figure7(51);
     println!(
         "[fig7] incremental word-disable capacity at pfail=0: {:.2}, at pfail=0.01: {:.2}",
-        fig7.rows[0].1[0],
-        fig7.rows.last().unwrap().1[0]
+        fig7.rows[0].1[0].unwrap_or(f64::NAN),
+        fig7.rows.last().unwrap().1[0].unwrap_or(f64::NAN)
     );
 }
 

@@ -20,7 +20,7 @@ fn print_means(tag: &str, table: &FigureTable) {
         .series_labels
         .iter()
         .zip(table.series_means())
-        .map(|(label, mean)| format!("{label}={:.1}%", 100.0 * mean))
+        .map(|(label, mean)| format!("{label}={:.1}%", 100.0 * mean.unwrap_or(0.0)))
         .collect();
     println!("[{tag}] {}", means.join("  "));
 }

@@ -6,7 +6,7 @@
 //! default (override with `--instructions` and `--pairs`).
 //!
 //! ```text
-//! vccmin-repro <target> [--scheme S] [--l2-scheme L] [--instructions N] [--pairs K] [--dies D] [--seed S] [--pfail P] [--smoke] [--csv] [--serial] [--out PATH]
+//! vccmin-repro <target> [--scheme S] [--l2-scheme L] [--instructions N] [--pairs K] [--dies D] [--seed S] [--pfail P] [--smoke] [--csv] [--serial] [--out PATH] [--checkpoint DIR]
 //!     target: fig1 fig3 fig4 fig5 fig6 fig7 table1 fig8 fig9 fig10 fig11 fig12
 //!             analysis (figs 1,3-7 + table1)   lowvolt (figs 8-10)
 //!             highvolt (figs 11-12)            schemes (repair-scheme matrix)
@@ -27,7 +27,14 @@
 //!               `matched` or a fault-dependent scheme name adds the L2 capacity
 //!               floor to the per-die pass criterion (`baseline` stays fault free,
 //!               like everywhere else)
-//!     --dies:   die population size of the `yield` study
+//!     --dies:   die population size of the `yield` study; the study streams
+//!               shard by shard (the fleet executor of
+//!               `vccmin_experiments::fleet`), so memory stays flat even at
+//!               `--dies 1000000` and beyond
+//!     --checkpoint: directory for the `yield` study's shard checkpoints; a
+//!               killed campaign re-run with the same parameters and directory
+//!               resumes from the finished shards and produces byte-identical
+//!               output (shards from different parameters are ignored)
 //!     --smoke:  start from the smoke-test campaign scale (4 benchmarks, tiny
 //!               traces; 24 dies for `yield`) instead of the quick() scale;
 //!               explicit --instructions / --pairs / --dies / --seed / --pfail
@@ -50,7 +57,8 @@ use vccmin_experiments::simulation::{
     FaultMapPool, GovernorStudy, HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy,
     SimulationParams,
 };
-use vccmin_experiments::yield_study::{YieldParams, YieldStudy};
+use vccmin_experiments::fleet::{FleetParams, FleetStudy};
+use vccmin_experiments::yield_study::YieldParams;
 use vccmin_experiments::{L2Protection, OverheadTable, SchemeConfig};
 use vccmin_cache::DisablingScheme;
 
@@ -62,6 +70,7 @@ struct Options {
     csv: bool,
     serial: bool,
     out: Option<String>,
+    checkpoint: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -84,6 +93,7 @@ fn parse_args() -> Result<Options, String> {
     let mut seed: Option<u64> = None;
     let mut pfail: Option<f64> = None;
     let mut out: Option<String> = None;
+    let mut checkpoint: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--instructions" => {
@@ -101,6 +111,9 @@ fn parse_args() -> Result<Options, String> {
             }
             "--out" => {
                 out = Some(args.next().ok_or("--out needs a path")?);
+            }
+            "--checkpoint" => {
+                checkpoint = Some(args.next().ok_or("--checkpoint needs a directory")?);
             }
             "--seed" => {
                 let v = args.next().ok_or("--seed needs a value")?;
@@ -201,6 +214,12 @@ fn parse_args() -> Result<Options, String> {
             usage()
         ));
     }
+    if checkpoint.is_some() && target != "yield" && target != "all" {
+        return Err(format!(
+            "--checkpoint only applies to the `yield` (or `all`) target\n{}",
+            usage()
+        ));
+    }
     Ok(Options {
         target,
         params,
@@ -209,11 +228,12 @@ fn parse_args() -> Result<Options, String> {
         csv,
         serial,
         out,
+        checkpoint,
     })
 }
 
 fn usage() -> String {
-    "usage: vccmin-repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|analysis|lowvolt|highvolt|schemes|governor|yield|all> [--scheme baseline|block-disable|word-disable|bit-fix|way-sacrifice] [--l2-scheme perfect-l2|matched|<scheme>] [--instructions N] [--pairs K] [--dies D] [--seed S] [--pfail P] [--smoke] [--csv] [--serial] [--out PATH]".to_string()
+    "usage: vccmin-repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|analysis|lowvolt|highvolt|schemes|governor|yield|all> [--scheme baseline|block-disable|word-disable|bit-fix|way-sacrifice] [--l2-scheme perfect-l2|matched|<scheme>] [--instructions N] [--pairs K] [--dies D] [--seed S] [--pfail P] [--smoke] [--csv] [--serial] [--out PATH] [--checkpoint DIR]".to_string()
 }
 
 fn emit(out: &mut dyn Write, table: &FigureTable, csv: bool) {
@@ -354,7 +374,8 @@ fn run_governor(
             .series_labels
             .iter()
             .position(|l| l == label)
-            .map_or(0.0, |i| means[i])
+            .and_then(|i| means[i])
+            .unwrap_or(0.0)
     };
     // Diagnostics go to stderr so `--csv` stdout stays machine-parseable.
     eprintln!(
@@ -386,33 +407,59 @@ fn run_highvolt(
     emit(out, &study.figure12(), csv);
 }
 
-fn run_yield(out: &mut dyn Write, params: &YieldParams, csv: bool, serial: bool) {
+fn run_yield(
+    out: &mut dyn Write,
+    params: &YieldParams,
+    checkpoint: Option<&str>,
+    csv: bool,
+    serial: bool,
+) -> Result<(), String> {
+    // Every scale runs through the streaming fleet executor: its shard
+    // aggregation is byte-identical to the materializing `YieldStudy` (pinned
+    // by the workspace tests), holds memory flat at millions of dies, and can
+    // resume from a `--checkpoint` directory.
+    let fleet = FleetParams::new(params.clone());
     eprintln!(
-        "running yield study: {} dies x {} grid voltages ({:.3} down to {:.3}), capacity floor {:.0}% ({})",
+        "running yield study: {} dies x {} grid voltages ({:.3} down to {:.3}), capacity floor {:.0}%, {} shards of {} dies ({})",
         params.dies,
         params.steps,
         params.v_high,
         params.v_low,
         100.0 * params.min_capacity,
+        fleet.shard_count(),
+        fleet.shard_dies,
         executor_label(serial),
     );
-    let study = if serial {
-        YieldStudy::run(params)
-    } else {
-        YieldStudy::run_parallel(params)
+    let study = match checkpoint {
+        Some(dir) => {
+            eprintln!("checkpointing shards to {dir} (fingerprint {:016x})", fleet.fingerprint());
+            FleetStudy::run_checkpointed(&fleet, std::path::Path::new(dir), !serial)
+                .map_err(|e| format!("checkpoint directory {dir}: {e}"))?
+        }
+        None if serial => FleetStudy::run(&fleet),
+        None => FleetStudy::run_parallel(&fleet),
     };
     let summary = study.vccmin_summary();
     emit(out, &study.yield_curve(), csv);
     emit(out, &summary, csv);
+    print_summary_diagnostics(&summary);
+    Ok(())
+}
+
+/// Per-scheme Vcc-min stderr diagnostics; a scheme with zero live dies has no
+/// Vcc-min cells and prints as dead.
+fn print_summary_diagnostics(summary: &FigureTable) {
     // Diagnostics go to stderr so `--csv` stdout stays machine-parseable.
     for (scheme, values) in &summary.rows {
-        eprintln!(
-            "summary: {scheme:<24} mean Vcc-min {:.3}  best {:.3}  worst {:.3}  dead {:.1}%",
-            values[0],
-            values[1],
-            values[2],
-            100.0 * values[3]
-        );
+        let dead = 100.0 * values[3].unwrap_or(0.0);
+        match (values[0], values[1], values[2]) {
+            (Some(mean), Some(best), Some(worst)) => eprintln!(
+                "summary: {scheme:<24} mean Vcc-min {mean:.3}  best {best:.3}  worst {worst:.3}  dead {dead:.1}%"
+            ),
+            _ => eprintln!(
+                "summary: {scheme:<24} dead at every grid voltage ({dead:.1}% of dies)"
+            ),
+        }
     }
 }
 
@@ -463,7 +510,18 @@ fn main() -> ExitCode {
         }
         "schemes" => run_schemes(out, p, &FaultMapPool::new(p), csv, serial, options.scheme),
         "governor" => run_governor(out, p, &FaultMapPool::new(p), csv, serial),
-        "yield" => run_yield(out, &options.yield_params, csv, serial),
+        "yield" => {
+            if let Err(e) = run_yield(
+                out,
+                &options.yield_params,
+                options.checkpoint.as_deref(),
+                csv,
+                serial,
+            ) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
         "all" => {
             // One pool for the whole session: the four simulation campaigns
             // share identical master-seed-derived fault maps, so they are
@@ -474,7 +532,16 @@ fn main() -> ExitCode {
             run_highvolt(out, p, &pool, csv, serial);
             run_schemes(out, p, &pool, csv, serial, None);
             run_governor(out, p, &pool, csv, serial);
-            run_yield(out, &options.yield_params, csv, serial);
+            if let Err(e) = run_yield(
+                out,
+                &options.yield_params,
+                options.checkpoint.as_deref(),
+                csv,
+                serial,
+            ) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
         }
         other => {
             eprintln!("unknown target {other}\n{}", usage());

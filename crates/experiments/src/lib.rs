@@ -25,6 +25,13 @@
 //!   dies sampled from the `vccmin-fault` variation model, each die's minimum
 //!   operational voltage computed per repair scheme, reported as Vcc-min
 //!   distributions and yield-vs-voltage curves;
+//! * [`fleet`] — the fleet-scale streaming executor for the same campaign:
+//!   sharded work units, binary-searched per-die Vcc-min probing, constant
+//!   memory histogram aggregation and checkpoint/resume, byte-identical to
+//!   [`yield_study`] at any scale;
+//! * [`checkpoint`] — the compact binary shard-result store (`VFS1` records,
+//!   atomic writes, checksum + parameter-fingerprint validation) behind the
+//!   fleet executor's resumability;
 //! * [`report`] — plain-text rendering of series and tables, used by the example
 //!   binaries, the `vccmin-repro` CLI and the benches.
 //!
@@ -63,14 +70,18 @@
 )]
 
 pub mod analysis_figures;
+pub mod checkpoint;
 pub mod config;
+pub mod fleet;
 pub mod governor;
 pub mod overhead;
 pub mod report;
 pub mod simulation;
 pub mod yield_study;
 
+pub use checkpoint::{CheckpointStore, ShardRecord};
 pub use config::{L2Protection, SchemeConfig, ALL_LOW_VOLTAGE_SCHEMES};
+pub use fleet::{FleetParams, FleetStudy};
 pub use governor::{
     run_governed, GovernedRun, GovernedRunSpec, GovernedSegment, GovernorMetrics, GovernorPolicy,
     TransitionCostModel,

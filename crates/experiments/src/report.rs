@@ -2,6 +2,12 @@
 
 /// A figure rendered as a table: one row per benchmark (or x-axis point), one column
 /// per series.
+///
+/// A cell is an `Option<f64>`: `None` marks a value that does not exist — e.g.
+/// the mean/best/worst Vcc-min of a repair scheme with zero live dies — and
+/// renders as an empty CSV cell (a `-` in plain text) rather than a misleading
+/// `0.0`. Missing cells are excluded from the per-series mean footer, so one
+/// dead series can never drag a column mean toward zero.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FigureTable {
     /// Title of the figure (e.g. "Figure 8: below Vcc-min, normalized to baseline").
@@ -10,8 +16,8 @@ pub struct FigureTable {
     pub key_label: String,
     /// One label per series (column).
     pub series_labels: Vec<String>,
-    /// Rows: key plus one value per series.
-    pub rows: Vec<(String, Vec<f64>)>,
+    /// Rows: key plus one optional value per series (`None` = no value).
+    pub rows: Vec<(String, Vec<Option<f64>>)>,
 }
 
 impl FigureTable {
@@ -30,12 +36,21 @@ impl FigureTable {
         }
     }
 
-    /// Appends a row.
+    /// Appends a row in which every cell is present.
     ///
     /// # Panics
     ///
     /// Panics if the number of values differs from the number of series labels.
     pub fn push_row(&mut self, key: impl Into<String>, values: Vec<f64>) {
+        self.push_optional_row(key, values.into_iter().map(Some).collect());
+    }
+
+    /// Appends a row in which cells may be missing (`None`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of cells differs from the number of series labels.
+    pub fn push_optional_row(&mut self, key: impl Into<String>, values: Vec<Option<f64>>) {
         assert_eq!(
             values.len(),
             self.series_labels.len(),
@@ -44,22 +59,28 @@ impl FigureTable {
         self.rows.push((key.into(), values));
     }
 
-    /// Arithmetic mean of each series over all rows.
+    /// Arithmetic mean of each series over the rows where the series has a
+    /// value; `None` for a series with no values at all.
     #[must_use]
-    pub fn series_means(&self) -> Vec<f64> {
-        if self.rows.is_empty() {
-            return vec![0.0; self.series_labels.len()];
-        }
+    pub fn series_means(&self) -> Vec<Option<f64>> {
         let mut sums = vec![0.0; self.series_labels.len()];
+        let mut counts = vec![0u64; self.series_labels.len()];
         for (_, values) in &self.rows {
-            for (s, v) in sums.iter_mut().zip(values) {
-                *s += v;
+            for ((s, n), v) in sums.iter_mut().zip(&mut counts).zip(values) {
+                if let Some(v) = v {
+                    *s += v;
+                    *n += 1;
+                }
             }
         }
-        sums.iter().map(|s| s / self.rows.len() as f64).collect()
+        sums.iter()
+            .zip(&counts)
+            .map(|(&s, &n)| if n == 0 { None } else { Some(s / n as f64) })
+            .collect()
     }
 
     /// Renders the table as comma-separated values (header + rows + mean).
+    /// Missing cells render as empty fields.
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
@@ -72,13 +93,19 @@ impl FigureTable {
         for (key, values) in &self.rows {
             out.push_str(key);
             for v in values {
-                out.push_str(&format!(",{v:.6}"));
+                match v {
+                    Some(v) => out.push_str(&format!(",{v:.6}")),
+                    None => out.push(','),
+                }
             }
             out.push('\n');
         }
         out.push_str("mean");
         for m in self.series_means() {
-            out.push_str(&format!(",{m:.6}"));
+            match m {
+                Some(m) => out.push_str(&format!(",{m:.6}")),
+                None => out.push(','),
+            }
         }
         out.push('\n');
         out
@@ -95,6 +122,10 @@ impl std::fmt::Display for FigureTable {
             .chain([self.key_label.len(), 4])
             .max()
             .unwrap_or(10);
+        let write_cell = |f: &mut std::fmt::Formatter<'_>, v: &Option<f64>| match v {
+            Some(v) => write!(f, "  {v:>22.4}"),
+            None => write!(f, "  {:>22}", "-"),
+        };
         write!(f, "{:width$}", self.key_label, width = key_width)?;
         for label in &self.series_labels {
             write!(f, "  {label:>22}")?;
@@ -103,13 +134,13 @@ impl std::fmt::Display for FigureTable {
         for (key, values) in &self.rows {
             write!(f, "{key:key_width$}")?;
             for v in values {
-                write!(f, "  {v:>22.4}")?;
+                write_cell(f, v)?;
             }
             writeln!(f)?;
         }
         write!(f, "{:key_width$}", "mean")?;
         for m in self.series_means() {
-            write!(f, "  {m:>22.4}")?;
+            write_cell(f, &m)?;
         }
         writeln!(f)
     }
@@ -130,14 +161,36 @@ mod tests {
     fn means_average_over_rows() {
         let t = sample();
         let means = t.series_means();
-        assert!((means[0] - 0.8).abs() < 1e-12);
-        assert!((means[1] - 0.9).abs() < 1e-12);
+        assert!((means[0].unwrap() - 0.8).abs() < 1e-12);
+        assert!((means[1].unwrap() - 0.9).abs() < 1e-12);
     }
 
     #[test]
-    fn empty_table_has_zero_means() {
+    fn empty_table_has_no_means() {
         let t = FigureTable::new("Fig", "k", vec!["a".into()]);
-        assert_eq!(t.series_means(), vec![0.0]);
+        assert_eq!(t.series_means(), vec![None]);
+    }
+
+    #[test]
+    fn missing_cells_are_excluded_from_means() {
+        let mut t = FigureTable::new("Fig", "k", vec!["a".into(), "b".into()]);
+        t.push_optional_row("live", vec![Some(0.5), Some(1.0)]);
+        t.push_optional_row("dead", vec![None, Some(3.0)]);
+        let means = t.series_means();
+        // Column a: only the live row counts — not dragged to 0.25 by a zero.
+        assert_eq!(means[0], Some(0.5));
+        assert_eq!(means[1], Some(2.0));
+    }
+
+    #[test]
+    fn fully_missing_column_has_no_mean_and_renders_empty() {
+        let mut t = FigureTable::new("Fig", "k", vec!["a".into(), "b".into()]);
+        t.push_optional_row("dead", vec![None, Some(1.0)]);
+        assert_eq!(t.series_means()[0], None);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[1], "dead,,1.000000");
+        assert_eq!(lines[2], "mean,,1.000000");
     }
 
     #[test]
@@ -157,6 +210,14 @@ mod tests {
         assert!(text.contains("crafty"));
         assert!(text.contains("mcf"));
         assert!(text.contains("mean"));
+    }
+
+    #[test]
+    fn display_renders_missing_cells_as_dashes() {
+        let mut t = FigureTable::new("Fig", "k", vec!["a".into()]);
+        t.push_optional_row("dead", vec![None]);
+        let text = t.to_string();
+        assert!(text.contains('-'));
     }
 
     #[test]

@@ -1454,7 +1454,8 @@ mod tests {
         assert_eq!(low.low_residency, 1.0);
         assert_eq!(nominal.low_residency, 0.0);
         for v in &table.rows[0].1 {
-            assert!(v.is_finite() && *v >= 0.0);
+            let v = v.unwrap();
+            assert!(v.is_finite() && v >= 0.0);
         }
     }
 
@@ -1596,7 +1597,8 @@ mod tests {
         // Four non-baseline schemes, two columns (avg, min) each.
         assert_eq!(table.series_labels.len(), 8);
         for v in &table.rows[0].1 {
-            assert!((0.1..=1.2).contains(v), "normalized value {v} out of range");
+            let v = v.unwrap();
+            assert!((0.1..=1.2).contains(&v), "normalized value {v} out of range");
         }
     }
 
@@ -1612,8 +1614,8 @@ mod tests {
         );
         let table = study.table();
         assert_eq!(table.series_labels.len(), 2);
-        let avg = table.rows[0].1[0];
-        let min = table.rows[0].1[1];
+        let avg = table.rows[0].1[0].unwrap();
+        let min = table.rows[0].1[1].unwrap();
         assert!(avg > 0.0 && min <= avg + 1e-9);
         let serial = SchemeMatrixStudy::run_single(&params, SchemeConfig::WaySacrifice, true);
         assert_eq!(study, serial, "serial and parallel single-scheme runs agree");
@@ -1633,12 +1635,12 @@ mod tests {
         let values = &fig11.rows[0].1;
         // Word disabling pays its extra cycle even at high voltage; block disabling
         // matches the baseline exactly.
-        assert!(values[0] < 1.0, "word disabling should lose performance");
+        assert!(values[0].unwrap() < 1.0, "word disabling should lose performance");
         assert!(
-            (values[1] - 1.0).abs() < 1e-9,
-            "block disabling must match the baseline at high voltage, got {}",
+            (values[1].unwrap() - 1.0).abs() < 1e-9,
+            "block disabling must match the baseline at high voltage, got {:?}",
             values[1]
         );
-        assert!(values[2] >= values[1] - 1e-9, "a victim cache never hurts");
+        assert!(values[2].unwrap() >= values[1].unwrap() - 1e-9, "a victim cache never hurts");
     }
 }

@@ -25,9 +25,15 @@
 //! In the i.i.d. limit (zero systematic variance) the Monte-Carlo yield
 //! converges to the closed forms of `vccmin_analysis::yield_model`; the
 //! workspace integration tests cross-validate the two.
+//!
+//! `YieldStudy` materializes a [`DieResult`] per die, which is the right shape
+//! for the quick-scale golden snapshots and the property tests but caps honest
+//! populations at thousands of dies. The fleet-scale streaming executor in
+//! [`crate::fleet`] runs the same per-die probe (bit-identically, by
+//! construction and by test) while holding memory flat at millions of dies.
 
 use rayon::prelude::*;
-use vccmin_cache::repair::registry;
+use vccmin_cache::repair::{registry, RepairScheme};
 use vccmin_fault::{CacheGeometry, DieVariation, FaultMap, SeedSequence, VariationModel};
 
 use crate::report::FigureTable;
@@ -119,14 +125,18 @@ impl YieldParams {
     /// seed. Exposed so tests can replay an individual die.
     #[must_use]
     pub fn die_seeds(&self) -> Vec<(u64, u64)> {
-        let mut seeds = SeedSequence::new(self.master_seed).fork("yield-dies");
-        (0..self.dies)
-            .map(|_| {
-                let die = seeds.next_seed();
-                let map = seeds.next_seed();
-                (die, map)
-            })
-            .collect()
+        self.die_seeds_range(0, self.dies)
+    }
+
+    /// The contiguous sub-range `[start, start + count)` of
+    /// [`YieldParams::die_seeds`], without materializing the whole population:
+    /// the seed stream is fast-forwarded past the first `start` dies. This is
+    /// the unit the sharded fleet executor draws its work from —
+    /// `die_seeds_range(s, c)` equals `die_seeds()[s..s + c]` bit for bit for
+    /// any shard boundary.
+    #[must_use]
+    pub fn die_seeds_range(&self, start: usize, count: usize) -> Vec<(u64, u64)> {
+        seed_pair_range(self.master_seed, "yield-dies", start, count)
     }
 
     /// Per-die (variation seed, fault-map seed) pairs for the L2 array, from a
@@ -134,15 +144,33 @@ impl YieldParams {
     /// side of any die.
     #[must_use]
     pub fn l2_die_seeds(&self) -> Vec<(u64, u64)> {
-        let mut seeds = SeedSequence::new(self.master_seed).fork("yield-l2-dies");
-        (0..self.dies)
-            .map(|_| {
-                let die = seeds.next_seed();
-                let map = seeds.next_seed();
-                (die, map)
-            })
-            .collect()
+        self.l2_die_seeds_range(0, self.dies)
     }
+
+    /// The contiguous sub-range `[start, start + count)` of
+    /// [`YieldParams::l2_die_seeds`], mirroring
+    /// [`YieldParams::die_seeds_range`].
+    #[must_use]
+    pub fn l2_die_seeds_range(&self, start: usize, count: usize) -> Vec<(u64, u64)> {
+        seed_pair_range(self.master_seed, "yield-l2-dies", start, count)
+    }
+}
+
+/// Seed pairs `[start, start + count)` of the stream forked from `master` as
+/// `label`. Skipping consumes two seeds per die, exactly like taking them.
+fn seed_pair_range(master: u64, label: &str, start: usize, count: usize) -> Vec<(u64, u64)> {
+    let mut seeds = SeedSequence::new(master).fork(label);
+    for _ in 0..start {
+        let _ = seeds.next_seed();
+        let _ = seeds.next_seed();
+    }
+    (0..count)
+        .map(|_| {
+            let die = seeds.next_seed();
+            let map = seeds.next_seed();
+            (die, map)
+        })
+        .collect()
 }
 
 impl Default for YieldParams {
@@ -197,9 +225,12 @@ impl YieldStudy {
     /// query every repair scheme's capacity — on the L1 alone, or on the L1
     /// and the L2 when the die carries L2 seeds. Both executors run each die
     /// through this single function, which is what makes them bit-identical.
+    /// The scheme registry is resolved once per campaign and threaded in, not
+    /// rebuilt per die.
     fn run_die(
         params: &YieldParams,
         grid: &[f64],
+        schemes: &[&'static dyn RepairScheme],
         die_seed: u64,
         map_seed: u64,
         l2_seeds: Option<(u64, u64)>,
@@ -212,7 +243,6 @@ impl YieldStudy {
                 l2_map_seed,
             )
         });
-        let schemes = registry();
         let mut operational = vec![Vec::with_capacity(grid.len()); schemes.len()];
         for &v in grid {
             let map = FaultMap::generate_at_voltage(&die, v, map_seed);
@@ -248,12 +278,13 @@ impl YieldStudy {
     #[must_use]
     pub fn run(params: &YieldParams) -> Self {
         let grid = params.voltage_grid();
+        let schemes = registry();
         let dies = params
             .die_seeds()
             .into_iter()
             .zip(Self::l2_seed_iter(params))
             .map(|((die_seed, map_seed), l2_seeds)| {
-                Self::run_die(params, &grid, die_seed, map_seed, l2_seeds)
+                Self::run_die(params, &grid, &schemes, die_seed, map_seed, l2_seeds)
             })
             .collect();
         Self {
@@ -278,6 +309,7 @@ impl YieldStudy {
     #[must_use]
     pub fn run_parallel(params: &YieldParams) -> Self {
         let grid = params.voltage_grid();
+        let schemes = registry();
         let jobs: Vec<DieJob> = params
             .die_seeds()
             .into_iter()
@@ -286,7 +318,7 @@ impl YieldStudy {
         let dies = jobs
             .into_par_iter()
             .map(|((die_seed, map_seed), l2_seeds)| {
-                Self::run_die(params, &grid, die_seed, map_seed, l2_seeds)
+                Self::run_die(params, &grid, &schemes, die_seed, map_seed, l2_seeds)
             })
             .collect();
         Self {
@@ -317,65 +349,137 @@ impl YieldStudy {
         ok as f64 / self.dies.len() as f64
     }
 
+    /// Per scheme (registry order), the histogram of minimum-operational-
+    /// voltage grid indices plus the count of dead dies: exactly the streaming
+    /// aggregate the fleet executor accumulates, derived here from the stored
+    /// per-die results so both paths render their reports through the same
+    /// code.
+    #[must_use]
+    pub fn min_voltage_histogram(&self) -> (Vec<Vec<u64>>, Vec<u64>) {
+        let schemes = registry().len();
+        let mut hist = vec![vec![0u64; self.grid.len()]; schemes];
+        let mut dead = vec![0u64; schemes];
+        for die in &self.dies {
+            for (i, flags) in die.operational.iter().enumerate() {
+                let usable = flags.iter().take_while(|&&ok| ok).count();
+                match usable.checked_sub(1) {
+                    Some(k) => hist[i][k] += 1,
+                    None => dead[i] += 1,
+                }
+            }
+        }
+        (hist, dead)
+    }
+
     /// The yield-vs-voltage curves: one row per grid voltage (highest first),
     /// one column per repair scheme, each cell the fraction of dies
     /// operational at that voltage.
     #[must_use]
     pub fn yield_curve(&self) -> FigureTable {
-        let mut table = FigureTable::new(
-            "Yield study: fraction of dies operational vs supply voltage",
-            "voltage",
-            Self::scheme_labels(),
-        );
         let schemes = registry().len();
-        for (k, &v) in self.grid.iter().enumerate() {
-            let values = (0..schemes).map(|i| self.yield_at(i, k)).collect();
-            table.push_row(format!("{v:.3}"), values);
+        let mut ok_counts = vec![vec![0u64; self.grid.len()]; schemes];
+        for die in &self.dies {
+            for (i, flags) in die.operational.iter().enumerate() {
+                for (k, &ok) in flags.iter().enumerate() {
+                    if ok {
+                        ok_counts[i][k] += 1;
+                    }
+                }
+            }
         }
-        table
+        yield_curve_table(&self.grid, &ok_counts, self.dies.len() as u64)
     }
 
     /// The per-scheme Vcc-min distribution over the die population: mean,
     /// best (lowest) and worst (highest) minimum operational voltage among
     /// dies that run at all, plus the fraction of dead dies (not operational
-    /// even at the top of the grid). Dead-die voltage statistics report 0.
+    /// even at the top of the grid). A scheme with zero live dies has *no*
+    /// Vcc-min — its mean/best/worst cells are empty ([`None`]), not a
+    /// too-good-to-be-true `0.0`, and they are excluded from the CSV `mean`
+    /// footer.
     #[must_use]
     pub fn vccmin_summary(&self) -> FigureTable {
-        let mut table = FigureTable::new(
-            "Yield study: die Vcc-min distribution per repair scheme",
-            "scheme",
-            vec![
-                "mean Vcc-min".into(),
-                "best Vcc-min".into(),
-                "worst Vcc-min".into(),
-                "dead fraction".into(),
-            ],
-        );
-        for (i, scheme) in registry().iter().enumerate() {
-            let alive: Vec<f64> = self
-                .dies
-                .iter()
-                .filter_map(|d| d.min_voltage[i])
-                .collect();
-            let dead = self.dies.len() - alive.len();
-            let (mean, best, worst) = if alive.is_empty() {
-                (0.0, 0.0, 0.0)
-            } else {
-                (
-                    alive.iter().sum::<f64>() / alive.len() as f64,
-                    alive.iter().cloned().fold(f64::INFINITY, f64::min),
-                    alive.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
-                )
-            };
-            let dead_fraction = if self.dies.is_empty() {
-                0.0
-            } else {
-                dead as f64 / self.dies.len() as f64
-            };
-            table.push_row(scheme.label(), vec![mean, best, worst, dead_fraction]);
-        }
-        table
+        let (hist, dead) = self.min_voltage_histogram();
+        vccmin_summary_table(&self.grid, &hist, &dead, self.dies.len() as u64)
     }
+}
+
+/// Renders the yield-vs-voltage curve table from per-scheme/per-voltage
+/// operational counts. Shared by [`YieldStudy`] and the fleet executor so the
+/// two paths produce byte-identical reports.
+pub(crate) fn yield_curve_table(grid: &[f64], ok_counts: &[Vec<u64>], dies: u64) -> FigureTable {
+    let mut table = FigureTable::new(
+        "Yield study: fraction of dies operational vs supply voltage",
+        "voltage",
+        YieldStudy::scheme_labels(),
+    );
+    for (k, &v) in grid.iter().enumerate() {
+        let values = ok_counts
+            .iter()
+            .map(|counts| {
+                if dies == 0 {
+                    0.0
+                } else {
+                    counts[k] as f64 / dies as f64
+                }
+            })
+            .collect();
+        table.push_row(format!("{v:.3}"), values);
+    }
+    table
+}
+
+/// Renders the per-scheme Vcc-min summary table from the minimum-voltage
+/// histogram (per scheme: count of dies per grid index, plus dead-die count).
+/// Shared by [`YieldStudy`] and the fleet executor. All statistics are
+/// computed from the histogram in ascending grid-index order, so any executor
+/// that produces the same integer counts produces the same bytes.
+pub(crate) fn vccmin_summary_table(
+    grid: &[f64],
+    hist: &[Vec<u64>],
+    dead: &[u64],
+    dies: u64,
+) -> FigureTable {
+    let mut table = FigureTable::new(
+        "Yield study: die Vcc-min distribution per repair scheme",
+        "scheme",
+        vec![
+            "mean Vcc-min".into(),
+            "best Vcc-min".into(),
+            "worst Vcc-min".into(),
+            "dead fraction".into(),
+        ],
+    );
+    for (label, (counts, &dead_count)) in YieldStudy::scheme_labels()
+        .into_iter()
+        .zip(hist.iter().zip(dead))
+    {
+        let alive: u64 = counts.iter().sum();
+        let stats = if alive == 0 {
+            [None, None, None]
+        } else {
+            let sum: f64 = grid
+                .iter()
+                .zip(counts)
+                .map(|(&v, &c)| v * c as f64)
+                .sum();
+            // The grid is highest-first, so the *best* (lowest) Vcc-min sits at
+            // the largest populated index and the worst at the smallest.
+            let best = counts.iter().rposition(|&c| c > 0).map(|k| grid[k]);
+            let worst = counts.iter().position(|&c| c > 0).map(|k| grid[k]);
+            [Some(sum / alive as f64), best, worst]
+        };
+        let dead_fraction = if dies == 0 {
+            0.0
+        } else {
+            dead_count as f64 / dies as f64
+        };
+        table.push_optional_row(
+            label,
+            vec![stats[0], stats[1], stats[2], Some(dead_fraction)],
+        );
+    }
+    table
 }
 
 #[cfg(test)]
@@ -411,6 +515,23 @@ mod tests {
         let unique: std::collections::HashSet<u64> =
             a.iter().flat_map(|&(d, m)| [d, m]).collect();
         assert_eq!(unique.len(), 2 * params.dies);
+    }
+
+    #[test]
+    fn seed_ranges_are_windows_of_the_full_sequence() {
+        let params = YieldParams {
+            dies: 23,
+            ..tiny()
+        };
+        let all = params.die_seeds();
+        let l2_all = params.l2_die_seeds();
+        for (start, count) in [(0, 23), (0, 5), (7, 9), (22, 1), (23, 0), (5, 0)] {
+            assert_eq!(params.die_seeds_range(start, count), all[start..start + count]);
+            assert_eq!(
+                params.l2_die_seeds_range(start, count),
+                l2_all[start..start + count]
+            );
+        }
     }
 
     #[test]
@@ -480,16 +601,72 @@ mod tests {
         assert_eq!(curve.series_labels.len(), 5);
         for (_, values) in &curve.rows {
             for v in values {
-                assert!((0.0..=1.0).contains(v));
+                assert!((0.0..=1.0).contains(&v.unwrap()));
             }
         }
         let summary = study.vccmin_summary();
         assert_eq!(summary.rows.len(), 5);
         for (_, values) in &summary.rows {
             // best <= mean <= worst for live schemes.
-            assert!(values[1] <= values[0] + 1e-12);
-            assert!(values[0] <= values[2] + 1e-12);
+            let (mean, best, worst) =
+                (values[0].unwrap(), values[1].unwrap(), values[2].unwrap());
+            assert!(best <= mean + 1e-12);
+            assert!(mean <= worst + 1e-12);
         }
+    }
+
+    #[test]
+    fn histogram_recovers_the_per_die_minimum_voltages() {
+        let study = YieldStudy::run(&tiny());
+        let (hist, dead) = study.min_voltage_histogram();
+        for (i, (counts, &dead_count)) in hist.iter().zip(&dead).enumerate() {
+            let total: u64 = counts.iter().sum::<u64>() + dead_count;
+            assert_eq!(total, study.dies.len() as u64);
+            for (k, &count) in counts.iter().enumerate() {
+                let expected = study
+                    .dies
+                    .iter()
+                    .filter(|d| d.min_voltage[i] == Some(study.grid[k]))
+                    .count() as u64;
+                assert_eq!(count, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_scheme_reports_empty_cells_not_zero() {
+        // A grid entirely below every non-ideal scheme's floor: at 0.46 V
+        // (pfail ~ 6e-3) block-disabling cannot hold half capacity on any die,
+        // so it must report *no* Vcc-min — empty mean/best/worst cells and a
+        // dead fraction of 1 — instead of a "best Vcc-min 0.000" that reads
+        // better than any live scheme.
+        let params = YieldParams {
+            v_high: 0.46,
+            v_low: 0.44,
+            steps: 2,
+            ..tiny()
+        };
+        let study = YieldStudy::run(&params);
+        let summary = study.vccmin_summary();
+        let labels = YieldStudy::scheme_labels();
+        let block = labels.iter().position(|l| l == "block disabling").unwrap();
+        let (label, values) = &summary.rows[block];
+        assert_eq!(label, "block disabling");
+        assert_eq!(values[0], None, "a dead scheme has no mean Vcc-min");
+        assert_eq!(values[1], None, "a dead scheme has no best Vcc-min");
+        assert_eq!(values[2], None, "a dead scheme has no worst Vcc-min");
+        assert_eq!(values[3], Some(1.0));
+        // The baseline ignores faults and stays alive, so the mean footer is
+        // computed over live schemes only — and stays a real voltage, not a
+        // value dragged toward zero by the dead row.
+        let means = summary.series_means();
+        assert!(means[0].unwrap() >= params.v_low);
+        // The CSV encodes the dead cells as empty fields.
+        let csv = summary.to_csv();
+        assert!(
+            csv.lines().any(|l| l.starts_with("block disabling,,,,")),
+            "dead scheme must render empty Vcc-min cells: {csv}"
+        );
     }
 
     #[test]
@@ -553,7 +730,12 @@ mod tests {
         assert_eq!(study.yield_at(0, 0), 0.0);
         let summary = study.vccmin_summary();
         for (_, values) in &summary.rows {
-            assert!(values.iter().all(|v| v.is_finite()));
+            // No dies means no Vcc-min statistics (empty cells, never NaN) and
+            // a well-defined dead fraction of zero.
+            assert_eq!(values[0], None);
+            assert_eq!(values[1], None);
+            assert_eq!(values[2], None);
+            assert_eq!(values[3], Some(0.0));
         }
     }
 

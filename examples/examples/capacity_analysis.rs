@@ -16,9 +16,9 @@ fn main() {
     // Figure 4 has 513 x-axis points; print a condensed view around the mode.
     let fig4 = figures::figure4();
     println!("Figure 4 (condensed): probability of cache capacity at pfail=0.001");
-    for (key, values) in fig4.rows.iter().filter(|(_, v)| v[0] > 1e-4) {
+    for (key, values) in fig4.rows.iter().filter(|(_, v)| v[0].unwrap_or(0.0) > 1e-4) {
         let capacity: f64 = key.parse().unwrap_or(0.0);
-        let bar = "#".repeat((values[0] * 800.0) as usize);
+        let bar = "#".repeat((values[0].unwrap_or(0.0) * 800.0) as usize);
         println!("{:>6.1}% | {bar}", 100.0 * capacity);
     }
 }

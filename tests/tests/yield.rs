@@ -179,7 +179,7 @@ fn systematic_variation_widens_the_vccmin_distribution() {
         summary
             .rows
             .iter()
-            .map(|(_, v)| v[2] - v[1]) // worst - best
+            .map(|(_, v)| v[2].unwrap_or(0.0) - v[1].unwrap_or(0.0)) // worst - best
             .fold(0.0f64, f64::max)
     };
     assert!(spread(&quick) >= spread(&iid));
