@@ -38,13 +38,13 @@ pub fn bench_params() -> SimulationParams {
     SimulationParams {
         instructions: 20_000,
         fault_map_pairs: 3,
-        benchmarks: vec![
-            Benchmark::Crafty,
-            Benchmark::Gzip,
-            Benchmark::Mesa,
-            Benchmark::Sixtrack,
-            Benchmark::Mcf,
-            Benchmark::Swim,
+        workloads: vec![
+            Benchmark::Crafty.into(),
+            Benchmark::Gzip.into(),
+            Benchmark::Mesa.into(),
+            Benchmark::Sixtrack.into(),
+            Benchmark::Mcf.into(),
+            Benchmark::Swim.into(),
         ],
         ..SimulationParams::quick()
     }
@@ -59,6 +59,6 @@ mod tests {
         let p = bench_params();
         assert!(p.instructions < SimulationParams::quick().instructions);
         assert_eq!(p.pfail, 0.001);
-        assert_eq!(p.benchmarks.len(), 6);
+        assert_eq!(p.workloads.len(), 6);
     }
 }

@@ -14,6 +14,7 @@
 //! | [`cache`] | `vccmin-cache` | set-associative caches, victim caches, disabling schemes, hierarchy |
 //! | [`cpu`] | `vccmin-cpu` | trace-driven cycle-level out-of-order core (Table II) |
 //! | [`workloads`] | `vccmin-workloads` | 26 synthetic SPEC CPU2000-like trace generators |
+//! | [`riscv`] | `vccmin-riscv` | deterministic RV32IM interpreter + real kernel trace sources |
 //! | [`experiments`] | `vccmin-experiments` | Table I/III configurations, Figs. 8–12 campaigns, reports |
 //!
 //! # Quickstart
@@ -89,6 +90,11 @@ pub mod workloads {
     pub use vccmin_workloads::*;
 }
 
+/// Deterministic RV32IM interpreter, assembler, and real kernel workloads.
+pub mod riscv {
+    pub use vccmin_riscv::*;
+}
+
 /// Experiment harness: configurations, campaigns, tables and figures.
 pub mod experiments {
     pub use vccmin_experiments::*;
@@ -101,10 +107,11 @@ pub use vccmin_cpu::{CpuConfig, Pipeline, SimResult};
 pub use vccmin_cache::{RepairScheme, WayDisableMask};
 pub use vccmin_experiments::{
     GovernedRun, GovernorPolicy, GovernorStudy, L2Protection, LowVoltageStudy, OverheadTable,
-    SchemeConfig, SchemeMatrixStudy, SimulationParams, TransitionCostModel, YieldParams,
-    YieldStudy,
+    SchemeConfig, SchemeMatrixStudy, SimulationParams, TransitionCostModel, Workload,
+    WorkloadSource, YieldParams, YieldStudy,
 };
 pub use vccmin_fault::{CacheGeometry, DieVariation, FaultMap, PfailVoltageModel, VariationModel};
+pub use vccmin_riscv::{RvKernel, RvTraceSource};
 pub use vccmin_workloads::{Benchmark, PhaseSchedule, TraceGenerator, WorkloadPhase};
 
 #[cfg(test)]

@@ -6,13 +6,17 @@
 //! default (override with `--instructions` and `--pairs`).
 //!
 //! ```text
-//! vccmin-repro <target> [--scheme S] [--l2-scheme L] [--instructions N] [--pairs K] [--dies D] [--seed S] [--pfail P] [--smoke] [--csv] [--serial] [--out PATH] [--checkpoint DIR]
+//! vccmin-repro <target> [--workload W[,W...]] [--scheme S] [--l2-scheme L] [--instructions N] [--pairs K] [--dies D] [--seed S] [--pfail P] [--smoke] [--csv] [--serial] [--out PATH] [--checkpoint DIR]
 //!     target: fig1 fig3 fig4 fig5 fig6 fig7 table1 fig8 fig9 fig10 fig11 fig12
 //!             analysis (figs 1,3-7 + table1)   lowvolt (figs 8-10)
 //!             highvolt (figs 11-12)            schemes (repair-scheme matrix)
 //!             governor (runtime voltage-mode governor study)
 //!             yield (die-population process-variation yield study)
+//!             workloads (list every workload; also `--list-workloads`)
 //!             all
+//!     --workload: restrict a simulation campaign to a comma-separated list of
+//!               workloads — synthetic benchmark names (`gzip`) and/or real
+//!               RISC-V kernels (`riscv:matmul`); see `vccmin-repro workloads`
 //!     --scheme: restrict the `schemes` campaign to one repair scheme
 //!               (baseline | block-disable | word-disable | bit-fix | way-sacrifice);
 //!               implies the `schemes` target when no target is given
@@ -59,7 +63,7 @@ use vccmin_experiments::simulation::{
 };
 use vccmin_experiments::fleet::{FleetParams, FleetStudy};
 use vccmin_experiments::yield_study::YieldParams;
-use vccmin_experiments::{L2Protection, OverheadTable, SchemeConfig};
+use vccmin_experiments::{L2Protection, OverheadTable, SchemeConfig, Workload};
 use vccmin_cache::DisablingScheme;
 
 struct Options {
@@ -80,6 +84,10 @@ fn parse_args() -> Result<Options, String> {
     // usage error it always was.
     let target = match args.peek() {
         Some(first) if first == "--scheme" => "schemes".to_string(),
+        Some(first) if first == "--list-workloads" => {
+            args.next();
+            "workloads".to_string()
+        }
         _ => args.next().ok_or_else(usage)?,
     };
     let mut scheme = None;
@@ -94,8 +102,28 @@ fn parse_args() -> Result<Options, String> {
     let mut pfail: Option<f64> = None;
     let mut out: Option<String> = None;
     let mut checkpoint: Option<String> = None;
+    let mut workloads: Option<Vec<Workload>> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--workload" => {
+                let v = args.next().ok_or("--workload needs a value")?;
+                let parsed = v
+                    .split(',')
+                    .map(|name| {
+                        Workload::parse(name.trim()).ok_or_else(|| {
+                            format!(
+                                "unknown workload {name}; run `vccmin-repro workloads` for the \
+                                 full list (synthetic names like `gzip`, kernels like \
+                                 `riscv:matmul`)"
+                            )
+                        })
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                if parsed.is_empty() {
+                    return Err("--workload needs at least one name".to_string());
+                }
+                workloads = Some(parsed);
+            }
             "--instructions" => {
                 let v = args.next().ok_or("--instructions needs a value")?;
                 instructions =
@@ -170,6 +198,9 @@ fn parse_args() -> Result<Options, String> {
     if let Some(v) = l2 {
         params.l2 = v;
     }
+    if let Some(v) = workloads.clone() {
+        params.workloads = v;
+    }
     let mut yield_params = if smoke {
         YieldParams::smoke()
     } else {
@@ -208,6 +239,16 @@ fn parse_args() -> Result<Options, String> {
             usage()
         ));
     }
+    let workload_targets = [
+        "schemes", "lowvolt", "highvolt", "governor", "all", "fig8", "fig9", "fig10", "fig11",
+        "fig12",
+    ];
+    if workloads.is_some() && !workload_targets.contains(&target.as_str()) {
+        return Err(format!(
+            "--workload only applies to the trace-driven simulation campaigns\n{}",
+            usage()
+        ));
+    }
     if dies.is_some() && target != "yield" && target != "all" {
         return Err(format!(
             "--dies only applies to the `yield` (or `all`) target\n{}",
@@ -233,7 +274,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: vccmin-repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|analysis|lowvolt|highvolt|schemes|governor|yield|all> [--scheme baseline|block-disable|word-disable|bit-fix|way-sacrifice] [--l2-scheme perfect-l2|matched|<scheme>] [--instructions N] [--pairs K] [--dies D] [--seed S] [--pfail P] [--smoke] [--csv] [--serial] [--out PATH] [--checkpoint DIR]".to_string()
+    "usage: vccmin-repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|analysis|lowvolt|highvolt|schemes|governor|yield|workloads|all> [--workload W[,W...]] [--scheme baseline|block-disable|word-disable|bit-fix|way-sacrifice] [--l2-scheme perfect-l2|matched|<scheme>] [--instructions N] [--pairs K] [--dies D] [--seed S] [--pfail P] [--smoke] [--csv] [--serial] [--out PATH] [--checkpoint DIR]".to_string()
 }
 
 fn emit(out: &mut dyn Write, table: &FigureTable, csv: bool) {
@@ -271,6 +312,20 @@ fn print_table1(out: &mut dyn Write) {
     render().expect("failed to write output");
 }
 
+fn print_workloads(out: &mut dyn Write) {
+    let mut render = || -> std::io::Result<()> {
+        writeln!(
+            out,
+            "available workloads (pass to --workload, comma-separated):"
+        )?;
+        for workload in Workload::all() {
+            writeln!(out, "  {:<16} {}", workload.name(), workload.description())?;
+        }
+        Ok(())
+    };
+    render().expect("failed to write output");
+}
+
 fn run_analysis(out: &mut dyn Write, csv: bool) {
     emit(out, &af::figure1(af::DEFAULT_STEPS), csv);
     emit(out, &af::figure3(af::DEFAULT_STEPS), csv);
@@ -291,8 +346,8 @@ fn run_lowvolt(
     serial: bool,
 ) {
     eprintln!(
-        "running low-voltage campaign: {} benchmarks x {} fault-map pairs x {} instructions ({})",
-        params.benchmarks.len(),
+        "running low-voltage campaign: {} workloads x {} fault-map pairs x {} instructions ({})",
+        params.workloads.len(),
         params.fault_map_pairs,
         params.instructions,
         executor_label(serial),
@@ -336,8 +391,8 @@ fn run_schemes(
         None => "full scheme matrix".to_string(),
     };
     eprintln!(
-        "running {described}: {} benchmarks x {} fault-map pairs x {} instructions, L2 {} ({})",
-        params.benchmarks.len(),
+        "running {described}: {} workloads x {} fault-map pairs x {} instructions, L2 {} ({})",
+        params.workloads.len(),
         params.fault_map_pairs,
         params.instructions,
         params.l2,
@@ -358,8 +413,8 @@ fn run_governor(
     serial: bool,
 ) {
     eprintln!(
-        "running governor campaign: {} benchmarks x {} policies x {} fault-map pairs x {} instructions ({})",
-        params.benchmarks.len(),
+        "running governor campaign: {} workloads x {} policies x {} fault-map pairs x {} instructions ({})",
+        params.workloads.len(),
         vccmin_experiments::GOVERNOR_POLICY_LABELS.len(),
         params.fault_map_pairs,
         params.instructions,
@@ -397,8 +452,8 @@ fn run_highvolt(
     serial: bool,
 ) {
     eprintln!(
-        "running high-voltage campaign: {} benchmarks x {} instructions ({})",
-        params.benchmarks.len(),
+        "running high-voltage campaign: {} workloads x {} instructions ({})",
+        params.workloads.len(),
         params.instructions,
         executor_label(serial),
     );
@@ -501,6 +556,7 @@ fn main() -> ExitCode {
         "fig6" => emit(out, &af::figure6(af::DEFAULT_STEPS), csv),
         "fig7" => emit(out, &af::figure7(af::DEFAULT_STEPS), csv),
         "table1" => print_table1(out),
+        "workloads" => print_workloads(out),
         "analysis" => run_analysis(out, csv),
         "fig8" | "fig9" | "fig10" | "lowvolt" => {
             run_lowvolt(out, p, &FaultMapPool::new(p), csv, serial);

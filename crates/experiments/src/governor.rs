@@ -1,6 +1,6 @@
 //! Runtime voltage-mode governor: phase-aware execution below Vcc-min.
 //!
-//! The paper evaluates whole benchmarks pinned to a single voltage mode. A real
+//! The paper evaluates whole workloads pinned to a single voltage mode. A real
 //! system *operates* below Vcc-min: a governor switches the core between the
 //! nominal operating point and the below-Vcc-min point at runtime, riding
 //! workload phases — and pays for every switch. This module simulates exactly
@@ -9,7 +9,8 @@
 //! * a [`GovernorPolicy`] decides, segment by segment, which [`VoltageMode`]
 //!   the core runs in next (a fixed schedule, a fixed alternation interval, or
 //!   a reactive policy driven by the workload-phase signal of
-//!   [`TraceGenerator::current_phase`]);
+//!   [`crate::workload::WorkloadSource::current_phase`] — scripted for
+//!   synthetic traces, observed from real memory behavior for RISC-V kernels);
 //! * every mode transition drains the pipeline
 //!   ([`Pipeline::drain_cycles`]) and reconfigures the active cache-repair
 //!   scheme
@@ -34,9 +35,10 @@ use vccmin_analysis::governor::{
 use vccmin_analysis::voltage::VoltageScalingModel;
 use vccmin_cache::{CacheHierarchy, DisablingScheme, FaultMap, VoltageMode};
 use vccmin_cpu::{CpuConfig, Pipeline, SimResult};
-use vccmin_workloads::{Benchmark, PhaseSchedule, TraceGenerator, WorkloadPhase};
+use vccmin_workloads::{PhaseSchedule, WorkloadPhase};
 
 use crate::config::SchemeConfig;
+use crate::workload::Workload;
 
 /// A runtime policy deciding which voltage mode each execution segment runs in.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,7 +133,7 @@ pub enum TransitionCostModel {
 #[derive(Debug, Clone, Copy)]
 pub struct GovernedRunSpec<'a> {
     /// Workload to execute.
-    pub benchmark: Benchmark,
+    pub workload: Workload,
     /// Cache configuration governing both voltage modes.
     pub scheme: SchemeConfig,
     /// Repair scheme protecting the unified L2 ([`DisablingScheme::Baseline`]
@@ -317,11 +319,7 @@ fn build_hierarchy(spec: &GovernedRunSpec<'_>, mode: VoltageMode) -> Option<Cach
 /// which is precisely the reconfiguration the transition cost models).
 #[must_use]
 pub fn run_governed(spec: &GovernedRunSpec<'_>) -> Option<GovernedRun> {
-    let profile = spec.benchmark.profile();
-    let mut trace = match spec.phases {
-        Some(schedule) => TraceGenerator::with_phases(&profile, spec.trace_seed, schedule.clone()),
-        None => TraceGenerator::new(&profile, spec.trace_seed),
-    };
+    let mut trace = spec.workload.source_with_phases(spec.trace_seed, spec.phases);
 
     let mut segments = Vec::new();
     let mut transitions = 0u64;
@@ -416,7 +414,7 @@ mod tests {
         cost: TransitionCostModel,
     ) -> GovernedRunSpec<'a> {
         GovernedRunSpec {
-            benchmark: Benchmark::Gzip,
+            workload: vccmin_workloads::Benchmark::Gzip.into(),
             scheme: SchemeConfig::BlockDisabling,
             l2_scheme: DisablingScheme::Baseline,
             policy,

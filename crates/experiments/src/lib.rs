@@ -77,6 +77,7 @@ pub mod governor;
 pub mod overhead;
 pub mod report;
 pub mod simulation;
+pub mod workload;
 pub mod yield_study;
 
 pub use checkpoint::{CheckpointStore, ShardRecord};
@@ -92,4 +93,5 @@ pub use simulation::{
     HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy, SimulationParams,
     GOVERNOR_POLICY_LABELS,
 };
+pub use workload::{Workload, WorkloadSource, RISCV_PREFIX};
 pub use yield_study::{DieResult, YieldParams, YieldStudy};

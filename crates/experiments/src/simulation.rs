@@ -1,6 +1,6 @@
 //! The simulation campaigns behind Figures 8–12 of the paper.
 //!
-//! A campaign runs every benchmark on every cache configuration. Configurations
+//! A campaign runs every workload on every cache configuration. Configurations
 //! whose behavior depends on the random fault map (the block-disabling variants) are
 //! evaluated over several independently sampled fault-map *pairs* (one map for the
 //! instruction cache, one for the data cache) and reported as the mean and minimum
@@ -23,7 +23,7 @@ use vccmin_cache::{
 };
 use vccmin_cpu::{CpuConfig, Pipeline, SimResult};
 use vccmin_fault::SeedSequence;
-use vccmin_workloads::{Benchmark, PhaseSchedule, TraceGenerator};
+use vccmin_workloads::{Benchmark, PhaseSchedule};
 
 use crate::config::{L2Protection, SchemeConfig};
 use crate::governor::{
@@ -31,6 +31,7 @@ use crate::governor::{
     TransitionCostModel,
 };
 use crate::report::FigureTable;
+use crate::workload::Workload;
 
 /// Parameters of a simulation campaign.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,8 +45,8 @@ pub struct SimulationParams {
     pub pfail: f64,
     /// Master seed from which every fault map and trace seed is derived.
     pub master_seed: u64,
-    /// Benchmarks to simulate.
-    pub benchmarks: Vec<Benchmark>,
+    /// Workloads to simulate — synthetic profiles and/or RISC-V kernels.
+    pub workloads: Vec<Workload>,
     /// How the unified L2 is protected below Vcc-min. The default
     /// ([`L2Protection::Perfect`]) reproduces the paper's fault-free L2 bit
     /// for bit; any other choice samples one L2 fault map per fault-map pair
@@ -54,7 +55,7 @@ pub struct SimulationParams {
 }
 
 impl SimulationParams {
-    /// A quick campaign: every benchmark, scaled-down instruction counts and fault
+    /// A quick campaign: every workload, scaled-down instruction counts and fault
     /// map counts. Finishes in a few minutes; suitable for the example binaries.
     #[must_use]
     pub fn quick() -> Self {
@@ -63,12 +64,12 @@ impl SimulationParams {
             fault_map_pairs: 5,
             pfail: 0.001,
             master_seed: 0x15_2A55_2010,
-            benchmarks: Benchmark::all().to_vec(),
+            workloads: Workload::all_synthetic(),
             l2: L2Protection::Perfect,
         }
     }
 
-    /// A smoke-test campaign: four representative benchmarks, tiny traces. Used by
+    /// A smoke-test campaign: four representative workloads, tiny traces. Used by
     /// unit/integration tests and the benches' correctness checks.
     #[must_use]
     pub fn smoke() -> Self {
@@ -77,18 +78,34 @@ impl SimulationParams {
             fault_map_pairs: 2,
             pfail: 0.001,
             master_seed: 7,
-            benchmarks: vec![
-                Benchmark::Crafty,
-                Benchmark::Mcf,
-                Benchmark::Swim,
-                Benchmark::Gzip,
+            workloads: vec![
+                Benchmark::Crafty.into(),
+                Benchmark::Mcf.into(),
+                Benchmark::Swim.into(),
+                Benchmark::Gzip.into(),
             ],
             l2: L2Protection::Perfect,
         }
     }
 
+    /// A quick campaign over the real RISC-V kernels only: the four RV32IM
+    /// kernels executed on the interpreter. The instruction budget is higher
+    /// than [`Self::quick`] because every kernel starts with a sequential,
+    /// data-independent fill loop (~75 k instructions at the default working
+    /// set) that must be retired before the cache-sensitive, data-dependent
+    /// body phases are reached. This is the configuration pinned by the
+    /// `riscv_schemes` golden.
+    #[must_use]
+    pub fn riscv_quick() -> Self {
+        Self {
+            instructions: 250_000,
+            workloads: Workload::all_riscv(),
+            ..Self::quick()
+        }
+    }
+
     /// The paper-scale campaign: 100 M instructions, 50 fault-map pairs, all 26
-    /// benchmarks. This takes many CPU-hours; use it only for a full reproduction.
+    /// workloads. This takes many CPU-hours; use it only for a full reproduction.
     #[must_use]
     pub fn paper_scale() -> Self {
         Self {
@@ -96,16 +113,16 @@ impl SimulationParams {
             fault_map_pairs: 50,
             pfail: 0.001,
             master_seed: 2010,
-            benchmarks: Benchmark::all().to_vec(),
+            workloads: Workload::all_synthetic(),
             l2: L2Protection::Perfect,
         }
     }
 
-    /// The trace seed every campaign in this module uses for `benchmark`
+    /// The trace seed every campaign in this module uses for `workload`
     /// (public so equivalence tests can replay the identical stream).
     #[must_use]
-    pub fn trace_seed(&self, benchmark: Benchmark) -> u64 {
-        trace_seed(self, benchmark)
+    pub fn trace_seed(&self, workload: Workload) -> u64 {
+        trace_seed(self, workload)
     }
 
     /// The campaign's fault-map pairs (instruction cache, data cache), derived
@@ -133,7 +150,7 @@ impl Default for SimulationParams {
     }
 }
 
-/// Result of one configuration on one benchmark: one [`SimResult`] per fault-map
+/// Result of one configuration on one workload: one [`SimResult`] per fault-map
 /// pair (a single entry for fault-independent configurations).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ConfigResult {
@@ -169,11 +186,11 @@ impl ConfigResult {
     }
 }
 
-/// All configuration results for one benchmark.
+/// All configuration results for one workload.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchmarkResult {
-    /// The benchmark.
-    pub benchmark: Benchmark,
+    /// The workload.
+    pub workload: Workload,
     /// Results per configuration.
     pub configs: Vec<ConfigResult>,
 }
@@ -206,15 +223,15 @@ impl BenchmarkResult {
     }
 }
 
-/// Runs one benchmark on one hierarchy and returns the result.
+/// Runs one workload on one hierarchy and returns the result.
 fn simulate(
-    benchmark: Benchmark,
+    workload: Workload,
     hierarchy: CacheHierarchy,
     trace_seed: u64,
     instructions: u64,
 ) -> SimResult {
     let mut pipeline = Pipeline::new(CpuConfig::ispass2010(), hierarchy);
-    let mut trace = TraceGenerator::new(&benchmark.profile(), trace_seed);
+    let mut trace = workload.source(trace_seed);
     pipeline.run(&mut trace, Some(instructions))
 }
 
@@ -257,7 +274,7 @@ fn generate_l2_fault_maps(master_seed: u64, pfail: f64, count: usize) -> Vec<Fau
 ///
 /// Historically every study (and every `run`/`run_parallel` call within a
 /// study) regenerated the same fault-map pairs and L2 maps from
-/// `params.master_seed` — per (config, benchmark) campaign entry the maps were
+/// `params.master_seed` — per (config, workload) campaign entry the maps were
 /// identical, only rebuilt. A pool derives them from the same
 /// [`SeedSequence`] forks exactly once, lazily per cache level (a
 /// high-voltage-only campaign never generates L1 pairs; a perfect-L2 campaign
@@ -323,15 +340,15 @@ impl FaultMapPool {
     }
 }
 
-/// Trace seed for a benchmark, derived from the master seed so every configuration
-/// of a benchmark replays the identical instruction stream.
-fn trace_seed(params: &SimulationParams, benchmark: Benchmark) -> u64 {
+/// Trace seed for a workload, derived from the master seed so every configuration
+/// of a workload replays the identical instruction stream.
+fn trace_seed(params: &SimulationParams, workload: Workload) -> u64 {
     SeedSequence::new(params.master_seed)
-        .fork(benchmark.name())
+        .fork(workload.name())
         .next_seed()
 }
 
-/// Simulates one fault-map pair for one (benchmark, configuration), or `None`
+/// Simulates one fault-map pair for one (workload, configuration), or `None`
 /// when a repair scheme cannot repair one of the maps (whole-cache failure, on
 /// the L1s or the L2). Both the serial and the parallel executor run every
 /// fault-map evaluation through this single function, which is what makes
@@ -339,14 +356,14 @@ fn trace_seed(params: &SimulationParams, benchmark: Benchmark) -> u64 {
 fn run_fault_pair(
     params: &SimulationParams,
     cfg: HierarchyConfig,
-    benchmark: Benchmark,
+    workload: Workload,
     trace_seed: u64,
     (map_i, map_d): &(FaultMap, FaultMap),
     l2_map: Option<&FaultMap>,
 ) -> Option<SimResult> {
     CacheHierarchy::with_all_fault_maps(cfg, Some(map_i), Some(map_d), l2_map)
         .ok()
-        .map(|hierarchy| simulate(benchmark, hierarchy, trace_seed, params.instructions))
+        .map(|hierarchy| simulate(workload, hierarchy, trace_seed, params.instructions))
 }
 
 /// Whether `scheme` at `voltage` is evaluated once per fault-map pair: the L1
@@ -372,24 +389,24 @@ fn pairs_independent(params: &SimulationParams, scheme: SchemeConfig) -> bool {
             .performance_uniform_across_maps())
 }
 
-/// Runs one (benchmark, configuration) pair at the given voltage over the campaign's
+/// Runs one (workload, configuration) pair at the given voltage over the campaign's
 /// fault maps.
 fn run_config(
     params: &SimulationParams,
     pairs: &[(FaultMap, FaultMap)],
     l2_maps: &[FaultMap],
-    benchmark: Benchmark,
+    workload: Workload,
     scheme: SchemeConfig,
     voltage: VoltageMode,
 ) -> ConfigResult {
-    let seed = trace_seed(params, benchmark);
+    let seed = trace_seed(params, workload);
     let cfg = scheme.hierarchy_config_with_l2(voltage, params.l2);
     let mut runs = Vec::new();
     let mut whole_cache_failures = 0;
 
     if map_dependent(params, scheme, voltage) {
         for (i, pair) in pairs.iter().enumerate() {
-            match run_fault_pair(params, cfg, benchmark, seed, pair, l2_maps.get(i)) {
+            match run_fault_pair(params, cfg, workload, seed, pair, l2_maps.get(i)) {
                 Some(result) => {
                     runs.push(result);
                     // Word-disabling's performance does not depend on *which* usable
@@ -403,7 +420,7 @@ fn run_config(
         }
     } else {
         let hierarchy = CacheHierarchy::new(cfg);
-        runs.push(simulate(benchmark, hierarchy, seed, params.instructions));
+        runs.push(simulate(workload, hierarchy, seed, params.instructions));
     }
     ConfigResult {
         scheme,
@@ -412,7 +429,7 @@ fn run_config(
     }
 }
 
-/// One unit of parallel work: either a whole (benchmark, configuration) cell —
+/// One unit of parallel work: either a whole (workload, configuration) cell —
 /// used for fault-independent configurations and for word-disabling, whose
 /// early-exit over fault maps is inherently sequential — or a single fault-map
 /// pair of a block-disabling configuration.
@@ -421,14 +438,14 @@ enum JobSpec {
     /// Run `run_config` for the whole cell.
     Whole {
         /// Benchmark to simulate.
-        benchmark: Benchmark,
+        workload: Workload,
         /// Configuration to simulate.
         scheme: SchemeConfig,
     },
     /// Run one fault-map pair of a map-dependent cell.
     Pair {
         /// Benchmark to simulate.
-        benchmark: Benchmark,
+        workload: Workload,
         /// Configuration to simulate.
         scheme: SchemeConfig,
         /// Index into the campaign's fault-map pair list.
@@ -443,7 +460,7 @@ enum JobOutput {
 }
 
 /// Splits a campaign into independent jobs: one per fault-map pair where pairs
-/// are independent, one per (benchmark, configuration) cell otherwise.
+/// are independent, one per (workload, configuration) cell otherwise.
 fn campaign_jobs(
     params: &SimulationParams,
     schemes: &[SchemeConfig],
@@ -451,26 +468,26 @@ fn campaign_jobs(
     pair_count: usize,
 ) -> Vec<JobSpec> {
     let mut jobs = Vec::new();
-    for &benchmark in &params.benchmarks {
+    for &workload in &params.workloads {
         for &scheme in schemes {
             if map_dependent(params, scheme, voltage) && pairs_independent(params, scheme) {
                 jobs.extend(
                     (0..pair_count).map(|pair_index| JobSpec::Pair {
-                        benchmark,
+                        workload,
                         scheme,
                         pair_index,
                     }),
                 );
             } else {
-                jobs.push(JobSpec::Whole { benchmark, scheme });
+                jobs.push(JobSpec::Whole { workload, scheme });
             }
         }
     }
     jobs
 }
 
-/// Runs a campaign over every (benchmark, configuration) cell in parallel,
-/// fanning out over benchmark × configuration × fault-map pair.
+/// Runs a campaign over every (workload, configuration) cell in parallel,
+/// fanning out over workload × configuration × fault-map pair.
 ///
 /// Determinism: the fault-map pairs and trace seeds are derived up front from
 /// `params.master_seed` through [`SeedSequence`], every evaluation goes through
@@ -498,19 +515,19 @@ fn run_campaign_parallel(
     let outputs: Vec<JobOutput> = jobs
         .into_par_iter()
         .map(|job| match job {
-            JobSpec::Whole { benchmark, scheme } => JobOutput::Whole(run_config(
-                params, pairs, l2_maps, benchmark, scheme, voltage,
+            JobSpec::Whole { workload, scheme } => JobOutput::Whole(run_config(
+                params, pairs, l2_maps, workload, scheme, voltage,
             )),
             JobSpec::Pair {
-                benchmark,
+                workload,
                 scheme,
                 pair_index,
             } => JobOutput::Pair(
                 run_fault_pair(
                     params,
                     scheme.hierarchy_config_with_l2(voltage, params.l2),
-                    benchmark,
-                    trace_seed(params, benchmark),
+                    workload,
+                    trace_seed(params, workload),
                     &pairs[pair_index],
                     l2_maps.get(pair_index),
                 )
@@ -519,14 +536,14 @@ fn run_campaign_parallel(
         })
         .collect();
 
-    // Reassemble in the same benchmark × scheme × pair order the jobs were
+    // Reassemble in the same workload × scheme × pair order the jobs were
     // emitted in.
     let mut cursor = outputs.into_iter();
     params
-        .benchmarks
+        .workloads
         .iter()
-        .map(|&benchmark| BenchmarkResult {
-            benchmark,
+        .map(|&workload| BenchmarkResult {
+            workload,
             configs: schemes
                 .iter()
                 .map(|&scheme| {
@@ -577,13 +594,13 @@ fn run_campaign(
         &[]
     };
     params
-        .benchmarks
+        .workloads
         .iter()
-        .map(|&benchmark| BenchmarkResult {
-            benchmark,
+        .map(|&workload| BenchmarkResult {
+            workload,
             configs: schemes
                 .iter()
-                .map(|&scheme| run_config(params, pairs, l2_maps, benchmark, scheme, voltage))
+                .map(|&scheme| run_config(params, pairs, l2_maps, workload, scheme, voltage))
                 .collect(),
         })
         .collect()
@@ -592,8 +609,8 @@ fn run_campaign(
 /// The low-voltage campaign behind Figures 8, 9 and 10.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LowVoltageStudy {
-    /// Per-benchmark results.
-    pub benchmarks: Vec<BenchmarkResult>,
+    /// Per-workload results.
+    pub workloads: Vec<BenchmarkResult>,
 }
 
 impl LowVoltageStudy {
@@ -615,7 +632,7 @@ impl LowVoltageStudy {
     }
 
     /// Runs the campaign on all available cores, fanning out over
-    /// benchmark × configuration × fault-map pair. Produces bit-identical
+    /// workload × configuration × fault-map pair. Produces bit-identical
     /// results to [`LowVoltageStudy::run`]: all randomness is derived up front
     /// from `params.master_seed` via [`SeedSequence`] and results are
     /// reassembled in job order.
@@ -630,12 +647,12 @@ impl LowVoltageStudy {
     /// [`LowVoltageStudy::run_parallel`].
     #[must_use]
     pub fn run_with_pool(params: &SimulationParams, pool: &FaultMapPool, serial: bool) -> Self {
-        let benchmarks = if serial {
+        let workloads = if serial {
             run_campaign(params, pool, &Self::SCHEMES, VoltageMode::Low)
         } else {
             run_campaign_parallel(params, pool, &Self::SCHEMES, VoltageMode::Low)
         };
-        Self { benchmarks }
+        Self { workloads }
     }
 
     /// Figure 8: performance normalized to the baseline *without* victim cache —
@@ -654,10 +671,10 @@ impl LowVoltageStudy {
                 "block disabling min+V$ 10T".into(),
             ],
         );
-        for b in &self.benchmarks {
+        for b in &self.workloads {
             let base = SchemeConfig::Baseline;
             table.push_row(
-                b.benchmark.name(),
+                b.workload.name(),
                 vec![
                     b.normalized_mean(SchemeConfig::WordDisabling, base),
                     b.normalized_mean(SchemeConfig::BlockDisabling, base),
@@ -683,10 +700,10 @@ impl LowVoltageStudy {
                 "block disabling min".into(),
             ],
         );
-        for b in &self.benchmarks {
+        for b in &self.workloads {
             let base = SchemeConfig::BaselineVictim;
             table.push_row(
-                b.benchmark.name(),
+                b.workload.name(),
                 vec![
                     b.normalized_mean(SchemeConfig::WordDisabling, base),
                     b.normalized_mean(SchemeConfig::BlockDisablingVictim10T, base),
@@ -712,10 +729,10 @@ impl LowVoltageStudy {
                 "block disabling min+V$ 6T".into(),
             ],
         );
-        for b in &self.benchmarks {
+        for b in &self.workloads {
             let base = SchemeConfig::Baseline;
             table.push_row(
-                b.benchmark.name(),
+                b.workload.name(),
                 vec![
                     b.normalized_mean(SchemeConfig::WordDisabling, base),
                     b.normalized_mean(SchemeConfig::BlockDisablingVictim10T, base),
@@ -728,26 +745,26 @@ impl LowVoltageStudy {
         table
     }
 
-    /// Average (over benchmarks) of the mean performance of `scheme` normalized to
+    /// Average (over workloads) of the mean performance of `scheme` normalized to
     /// `baseline` — the numbers quoted in the paper's abstract and Section VI.A.
     #[must_use]
     pub fn average_normalized(&self, scheme: SchemeConfig, baseline: SchemeConfig) -> f64 {
-        if self.benchmarks.is_empty() {
+        if self.workloads.is_empty() {
             return 0.0;
         }
-        self.benchmarks
+        self.workloads
             .iter()
             .map(|b| b.normalized_mean(scheme, baseline))
             .sum::<f64>()
-            / self.benchmarks.len() as f64
+            / self.workloads.len() as f64
     }
 }
 
 /// The high-voltage campaign behind Figures 11 and 12.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HighVoltageStudy {
-    /// Per-benchmark results.
-    pub benchmarks: Vec<BenchmarkResult>,
+    /// Per-workload results.
+    pub workloads: Vec<BenchmarkResult>,
 }
 
 impl HighVoltageStudy {
@@ -770,7 +787,7 @@ impl HighVoltageStudy {
     }
 
     /// Runs the campaign on all available cores, one job per
-    /// benchmark × configuration cell. Produces bit-identical results to
+    /// workload × configuration cell. Produces bit-identical results to
     /// [`HighVoltageStudy::run`].
     #[must_use]
     pub fn run_parallel(params: &SimulationParams) -> Self {
@@ -783,12 +800,12 @@ impl HighVoltageStudy {
     /// study in a multi-study session threads the same pool through.
     #[must_use]
     pub fn run_with_pool(params: &SimulationParams, pool: &FaultMapPool, serial: bool) -> Self {
-        let benchmarks = if serial {
+        let workloads = if serial {
             run_campaign(params, pool, &Self::SCHEMES, VoltageMode::High)
         } else {
             run_campaign_parallel(params, pool, &Self::SCHEMES, VoltageMode::High)
         };
-        Self { benchmarks }
+        Self { workloads }
     }
 
     /// Figure 11: high-voltage performance normalized to the baseline without victim
@@ -804,10 +821,10 @@ impl HighVoltageStudy {
                 "block disabling+V$ 10T".into(),
             ],
         );
-        for b in &self.benchmarks {
+        for b in &self.workloads {
             let base = SchemeConfig::Baseline;
             table.push_row(
-                b.benchmark.name(),
+                b.workload.name(),
                 vec![
                     b.normalized_mean(SchemeConfig::WordDisabling, base),
                     b.normalized_mean(SchemeConfig::BlockDisabling, base),
@@ -827,10 +844,10 @@ impl HighVoltageStudy {
             "benchmark",
             vec!["word disabling".into(), "block disabling".into()],
         );
-        for b in &self.benchmarks {
+        for b in &self.workloads {
             let base = SchemeConfig::BaselineVictim;
             table.push_row(
-                b.benchmark.name(),
+                b.workload.name(),
                 vec![
                     b.normalized_mean(SchemeConfig::WordDisablingVictim, base),
                     b.normalized_mean(SchemeConfig::BlockDisablingVictim10T, base),
@@ -847,8 +864,8 @@ impl HighVoltageStudy {
 /// are not part of the paper's original figures.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SchemeMatrixStudy {
-    /// Per-benchmark results.
-    pub benchmarks: Vec<BenchmarkResult>,
+    /// Per-workload results.
+    pub workloads: Vec<BenchmarkResult>,
     /// The configurations that were evaluated (baseline first).
     schemes: Vec<SchemeConfig>,
 }
@@ -881,13 +898,13 @@ impl SchemeMatrixStudy {
     #[must_use]
     pub fn run_with_pool(params: &SimulationParams, pool: &FaultMapPool, serial: bool) -> Self {
         let schemes = Self::matrix_schemes();
-        let benchmarks = if serial {
+        let workloads = if serial {
             run_campaign(params, pool, &schemes, VoltageMode::Low)
         } else {
             run_campaign_parallel(params, pool, &schemes, VoltageMode::Low)
         };
         Self {
-            benchmarks,
+            workloads,
             schemes: schemes.to_vec(),
         }
     }
@@ -910,12 +927,12 @@ impl SchemeMatrixStudy {
         if scheme != SchemeConfig::Baseline {
             schemes.push(scheme);
         }
-        let benchmarks = if serial {
+        let workloads = if serial {
             run_campaign(params, pool, &schemes, VoltageMode::Low)
         } else {
             run_campaign_parallel(params, pool, &schemes, VoltageMode::Low)
         };
-        Self { benchmarks, schemes }
+        Self { workloads, schemes }
     }
 
     /// The configurations this study evaluated, baseline first.
@@ -924,7 +941,7 @@ impl SchemeMatrixStudy {
         &self.schemes
     }
 
-    /// The scheme-matrix table: per benchmark, the mean and worst-fault-map
+    /// The scheme-matrix table: per workload, the mean and worst-fault-map
     /// performance of every evaluated scheme, normalized to the fault-free
     /// baseline.
     #[must_use]
@@ -950,13 +967,13 @@ impl SchemeMatrixStudy {
             "benchmark",
             labels,
         );
-        for b in &self.benchmarks {
+        for b in &self.workloads {
             let mut values = Vec::new();
             for &scheme in &columns {
                 values.push(b.normalized_mean(scheme, SchemeConfig::Baseline));
                 values.push(b.normalized_min(scheme, SchemeConfig::Baseline));
             }
-            table.push_row(b.benchmark.name(), values);
+            table.push_row(b.workload.name(), values);
         }
         table
     }
@@ -966,7 +983,7 @@ impl SchemeMatrixStudy {
 /// nominal) is the normalization reference of the figure table.
 pub const GOVERNOR_POLICY_LABELS: [&str; 4] = ["nominal", "low", "interval", "reactive"];
 
-/// Results of one governor policy on one benchmark: one governed run per
+/// Results of one governor policy on one workload: one governed run per
 /// evaluated fault-map pair (a single entry for policies that never leave the
 /// nominal mode).
 #[derive(Debug, Clone, PartialEq)]
@@ -1021,31 +1038,31 @@ impl GovernorPolicyResult {
     }
 }
 
-/// All governor-policy results for one benchmark, in
+/// All governor-policy results for one workload, in
 /// [`GovernorStudy::policies`] order (reference policy first).
 #[derive(Debug, Clone, PartialEq)]
 pub struct GovernorBenchmarkResult {
-    /// The benchmark.
-    pub benchmark: Benchmark,
+    /// The workload.
+    pub workload: Workload,
     /// One result per policy.
     pub policies: Vec<GovernorPolicyResult>,
 }
 
-/// The voltage-mode governor campaign: every benchmark executed under a set of
+/// The voltage-mode governor campaign: every workload executed under a set of
 /// runtime mode-switching policies (pinned nominal, pinned low, fixed
 /// interval, phase-reactive) on phase-annotated traces, with modeled pipeline
 /// drain + cache-reconfiguration transition costs, reported as performance,
 /// energy and EDP relative to the pinned-nominal reference.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GovernorStudy {
-    /// Per-benchmark results.
-    pub benchmarks: Vec<GovernorBenchmarkResult>,
+    /// Per-workload results.
+    pub workloads: Vec<GovernorBenchmarkResult>,
 }
 
 /// One unit of parallel governor work.
 #[derive(Debug, Clone, Copy)]
 struct GovernorJob {
-    benchmark: Benchmark,
+    workload: Workload,
     policy_index: usize,
     /// Fault-map pair to evaluate, or `None` for a mapless (nominal-only) run.
     pair_index: Option<usize>,
@@ -1094,25 +1111,25 @@ impl GovernorStudy {
         VoltageScalingModel::ispass2010_operating_points()
     }
 
-    /// Runs one governed cell: one (benchmark, policy, fault-map pair). Both
+    /// Runs one governed cell: one (workload, policy, fault-map pair). Both
     /// executors run every evaluation through this single function, which is
     /// what makes their results bit-identical.
     fn run_cell(
         params: &SimulationParams,
         phases: &PhaseSchedule,
-        benchmark: Benchmark,
+        workload: Workload,
         policy: &GovernorPolicy,
         maps: Option<&(FaultMap, FaultMap)>,
         l2_map: Option<&FaultMap>,
     ) -> Option<GovernedRun> {
         run_governed(&GovernedRunSpec {
-            benchmark,
+            workload,
             scheme: Self::SCHEME,
             l2_scheme: params.l2.scheme_for(Self::SCHEME),
             policy,
             maps,
             l2_map,
-            trace_seed: trace_seed(params, benchmark),
+            trace_seed: trace_seed(params, workload),
             instructions: params.instructions,
             phases: Some(phases),
             cost: TransitionCostModel::Modeled,
@@ -1148,7 +1165,7 @@ impl GovernorStudy {
     }
 
     /// Runs the campaign on all available cores, fanning out over
-    /// benchmark × policy × fault-map pair. Bit-identical to
+    /// workload × policy × fault-map pair. Bit-identical to
     /// [`GovernorStudy::run`]: all randomness derives from the master seed and
     /// results are reassembled in job order.
     #[must_use]
@@ -1177,11 +1194,11 @@ impl GovernorStudy {
         l2_maps: &[FaultMap],
     ) -> Self {
         let phases = Self::phase_schedule(params);
-        let benchmarks = params
-            .benchmarks
+        let workloads = params
+            .workloads
             .iter()
-            .map(|&benchmark| GovernorBenchmarkResult {
-                benchmark,
+            .map(|&workload| GovernorBenchmarkResult {
+                workload,
                 policies: Self::policies(params)
                     .into_iter()
                     .map(|policy| {
@@ -1194,7 +1211,7 @@ impl GovernorStudy {
                                         Self::run_cell(
                                             params,
                                             &phases,
-                                            benchmark,
+                                            workload,
                                             &policy,
                                             Some(pair),
                                             l2_maps.get(i),
@@ -1202,14 +1219,14 @@ impl GovernorStudy {
                                     })
                                     .collect()
                             } else {
-                                vec![Self::run_cell(params, &phases, benchmark, &policy, None, None)]
+                                vec![Self::run_cell(params, &phases, workload, &policy, None, None)]
                             };
                         Self::collect(policy, outputs)
                     })
                     .collect(),
             })
             .collect();
-        Self { benchmarks }
+        Self { workloads }
     }
 
     fn run_parallel_on(
@@ -1221,17 +1238,17 @@ impl GovernorStudy {
         let policies = Self::policies(params);
 
         let mut jobs = Vec::new();
-        for &benchmark in &params.benchmarks {
+        for &workload in &params.workloads {
             for (policy_index, policy) in policies.iter().enumerate() {
                 if Self::policy_map_dependent(policy) {
                     jobs.extend((0..pairs.len()).map(|pair_index| GovernorJob {
-                        benchmark,
+                        workload,
                         policy_index,
                         pair_index: Some(pair_index),
                     }));
                 } else {
                     jobs.push(GovernorJob {
-                        benchmark,
+                        workload,
                         policy_index,
                         pair_index: None,
                     });
@@ -1244,7 +1261,7 @@ impl GovernorStudy {
                 Self::run_cell(
                     params,
                     &phases,
-                    job.benchmark,
+                    job.workload,
                     &policies[job.policy_index],
                     job.pair_index.map(|i| &pairs[i]),
                     job.pair_index.and_then(|i| l2_maps.get(i)),
@@ -1252,14 +1269,14 @@ impl GovernorStudy {
             })
             .collect();
 
-        // Reassemble in the same benchmark × policy × pair order the jobs were
+        // Reassemble in the same workload × policy × pair order the jobs were
         // emitted in.
         let mut cursor = outputs.into_iter();
-        let benchmarks = params
-            .benchmarks
+        let workloads = params
+            .workloads
             .iter()
-            .map(|&benchmark| GovernorBenchmarkResult {
-                benchmark,
+            .map(|&workload| GovernorBenchmarkResult {
+                workload,
                 policies: policies
                     .iter()
                     .map(|policy| {
@@ -1281,10 +1298,10 @@ impl GovernorStudy {
                     .collect(),
             })
             .collect();
-        Self { benchmarks }
+        Self { workloads }
     }
 
-    /// The governor figure table: per benchmark, each non-reference policy's
+    /// The governor figure table: per workload, each non-reference policy's
     /// relative performance (reference time / policy time), relative energy
     /// and relative EDP against the pinned-nominal reference. Cells whose
     /// reference or policy could not be evaluated report 0 — never NaN.
@@ -1302,7 +1319,7 @@ impl GovernorStudy {
             "benchmark",
             labels,
         );
-        for b in &self.benchmarks {
+        for b in &self.workloads {
             let reference = b.policies.first().and_then(|p| p.mean_metrics(&model));
             let mut values = Vec::new();
             for policy in &b.policies[1..] {
@@ -1316,7 +1333,7 @@ impl GovernorStudy {
                     _ => values.extend([0.0, 0.0, 0.0]),
                 }
             }
-            table.push_row(b.benchmark.name(), values);
+            table.push_row(b.workload.name(), values);
         }
         table
     }
@@ -1375,7 +1392,7 @@ mod tests {
             hierarchy: Default::default(),
         };
         let b = BenchmarkResult {
-            benchmark: Benchmark::Gzip,
+            workload: Benchmark::Gzip.into(),
             configs: vec![
                 ConfigResult {
                     scheme: SchemeConfig::Baseline,
@@ -1402,8 +1419,8 @@ mod tests {
         ] {
             assert_eq!(v, 0.0, "degenerate normalization must be exactly 0");
         }
-        // A study with no benchmarks averages to 0 as well.
-        let study = LowVoltageStudy { benchmarks: Vec::new() };
+        // A study with no workloads averages to 0 as well.
+        let study = LowVoltageStudy { workloads: Vec::new() };
         assert_eq!(
             study.average_normalized(SchemeConfig::BlockDisabling, SchemeConfig::Baseline),
             0.0
@@ -1413,7 +1430,7 @@ mod tests {
     #[test]
     fn governor_study_parallel_is_bit_identical_to_serial() {
         let mut params = SimulationParams::smoke();
-        params.benchmarks = vec![Benchmark::Gzip, Benchmark::Mcf];
+        params.workloads = vec![Benchmark::Gzip.into(), Benchmark::Mcf.into()];
         params.instructions = 5_000;
         let serial = GovernorStudy::run(&params);
         let parallel = GovernorStudy::run_parallel(&params);
@@ -1424,13 +1441,13 @@ mod tests {
     #[test]
     fn governor_study_produces_sane_relative_metrics() {
         let mut params = SimulationParams::smoke();
-        params.benchmarks = vec![Benchmark::Crafty];
+        params.workloads = vec![Benchmark::Crafty.into()];
         params.instructions = 8_000;
         let study = GovernorStudy::run(&params);
         let table = study.table();
         assert_eq!(table.rows.len(), 1);
         assert_eq!(table.series_labels.len(), 9);
-        let b = &study.benchmarks[0];
+        let b = &study.workloads[0];
         assert_eq!(b.policies.len(), 4);
         // The nominal reference never leaves high voltage.
         assert_eq!(b.policies[0].runs.len(), 1);
@@ -1504,7 +1521,7 @@ mod tests {
     #[test]
     fn pooled_studies_match_their_unpooled_reference() {
         let mut params = SimulationParams::smoke();
-        params.benchmarks = vec![Benchmark::Gzip];
+        params.workloads = vec![Benchmark::Gzip.into()];
         params.instructions = 4_000;
         // One pool shared across every study of the session, exactly like the
         // CLI's `all` target.
@@ -1527,19 +1544,19 @@ mod tests {
     fn trace_seeds_differ_per_benchmark_but_not_per_call() {
         let params = SimulationParams::smoke();
         assert_eq!(
-            trace_seed(&params, Benchmark::Crafty),
-            trace_seed(&params, Benchmark::Crafty)
+            trace_seed(&params, Benchmark::Crafty.into()),
+            trace_seed(&params, Benchmark::Crafty.into())
         );
         assert_ne!(
-            trace_seed(&params, Benchmark::Crafty),
-            trace_seed(&params, Benchmark::Mcf)
+            trace_seed(&params, Benchmark::Crafty.into()),
+            trace_seed(&params, Benchmark::Mcf.into())
         );
     }
 
     #[test]
     fn parallel_low_voltage_campaign_is_bit_identical_to_serial() {
         let mut params = SimulationParams::smoke();
-        params.benchmarks = vec![Benchmark::Crafty, Benchmark::Gzip];
+        params.workloads = vec![Benchmark::Crafty.into(), Benchmark::Gzip.into()];
         params.instructions = 5_000;
         let serial = LowVoltageStudy::run(&params);
         let parallel = LowVoltageStudy::run_parallel(&params);
@@ -1550,7 +1567,7 @@ mod tests {
     #[test]
     fn parallel_high_voltage_campaign_is_bit_identical_to_serial() {
         let mut params = SimulationParams::smoke();
-        params.benchmarks = vec![Benchmark::Mcf];
+        params.workloads = vec![Benchmark::Mcf.into()];
         params.instructions = 5_000;
         let serial = HighVoltageStudy::run(&params);
         let parallel = HighVoltageStudy::run_parallel(&params);
@@ -1564,7 +1581,7 @@ mod tests {
         // whole-cache-failure accounting and word-disabling's first-usable-pair
         // early exit both come into play.
         let mut params = SimulationParams::smoke();
-        params.benchmarks = vec![Benchmark::Swim];
+        params.workloads = vec![Benchmark::Swim.into()];
         params.instructions = 3_000;
         params.pfail = 0.08;
         params.fault_map_pairs = 4;
@@ -1572,7 +1589,7 @@ mod tests {
         let parallel = LowVoltageStudy::run_parallel(&params);
         assert_eq!(serial, parallel);
         let failures: usize = serial
-            .benchmarks
+            .workloads
             .iter()
             .flat_map(|b| b.configs.iter())
             .map(|c| c.whole_cache_failures)
@@ -1587,7 +1604,7 @@ mod tests {
     #[test]
     fn scheme_matrix_parallel_is_bit_identical_to_serial() {
         let mut params = SimulationParams::smoke();
-        params.benchmarks = vec![Benchmark::Gzip];
+        params.workloads = vec![Benchmark::Gzip.into()];
         params.instructions = 5_000;
         let serial = SchemeMatrixStudy::run(&params);
         let parallel = SchemeMatrixStudy::run_parallel(&params);
@@ -1605,7 +1622,7 @@ mod tests {
     #[test]
     fn single_scheme_run_evaluates_only_that_scheme_and_its_baseline() {
         let mut params = SimulationParams::smoke();
-        params.benchmarks = vec![Benchmark::Mcf];
+        params.workloads = vec![Benchmark::Mcf.into()];
         params.instructions = 5_000;
         let study = SchemeMatrixStudy::run_single(&params, SchemeConfig::WaySacrifice, false);
         assert_eq!(
@@ -1627,7 +1644,7 @@ mod tests {
     #[test]
     fn high_voltage_study_produces_sane_normalized_results() {
         let mut params = SimulationParams::smoke();
-        params.benchmarks = vec![Benchmark::Gzip];
+        params.workloads = vec![Benchmark::Gzip.into()];
         params.instructions = 8_000;
         let study = HighVoltageStudy::run(&params);
         let fig11 = study.figure11();

@@ -1,0 +1,673 @@
+//! A tiny two-pass program builder: the crate's substitute for an external
+//! assembler and ELF loader.
+//!
+//! Kernels are written as Rust method chains (`a.label("loop"); a.lw(...);
+//! a.bne(T0, T1, "loop");`) against this builder. Pass one records
+//! instructions and label positions; [`Assembler::finish`] resolves every
+//! label reference to a pc-relative offset, range-checks it against the
+//! instruction format (±4 KiB for branches, ±1 MiB for `jal`), encodes, and
+//! returns a [`Program`] ready to load into a [`SparseMemory`]
+//! (crate::mem::SparseMemory).
+//!
+//! Labels are `&'static str` because kernels are compiled into the binary;
+//! there is no runtime assembly source text to parse.
+
+use std::collections::BTreeMap;
+
+use crate::inst::{AluOp, BranchOp, Instr, LoadOp, MulOp, StoreOp, XReg};
+use crate::mem::SparseMemory;
+
+/// Conventional RV32I register names (ABI mnemonics).
+pub mod reg {
+    use crate::inst::XReg;
+
+    /// Hardwired zero.
+    pub const ZERO: XReg = 0;
+    /// Return address.
+    pub const RA: XReg = 1;
+    /// Stack pointer.
+    pub const SP: XReg = 2;
+    /// Global pointer (unused by the kernels; free scratch).
+    pub const GP: XReg = 3;
+    /// Thread pointer (unused by the kernels; free scratch).
+    pub const TP: XReg = 4;
+    /// Temporary 0.
+    pub const T0: XReg = 5;
+    /// Temporary 1.
+    pub const T1: XReg = 6;
+    /// Temporary 2.
+    pub const T2: XReg = 7;
+    /// Saved register 0 / frame pointer.
+    pub const S0: XReg = 8;
+    /// Saved register 1.
+    pub const S1: XReg = 9;
+    /// Argument/return 0.
+    pub const A0: XReg = 10;
+    /// Argument/return 1.
+    pub const A1: XReg = 11;
+    /// Argument 2.
+    pub const A2: XReg = 12;
+    /// Argument 3.
+    pub const A3: XReg = 13;
+    /// Argument 4.
+    pub const A4: XReg = 14;
+    /// Argument 5.
+    pub const A5: XReg = 15;
+    /// Argument 6.
+    pub const A6: XReg = 16;
+    /// Argument 7.
+    pub const A7: XReg = 17;
+    /// Saved register 2.
+    pub const S2: XReg = 18;
+    /// Saved register 3.
+    pub const S3: XReg = 19;
+    /// Saved register 4.
+    pub const S4: XReg = 20;
+    /// Saved register 5.
+    pub const S5: XReg = 21;
+    /// Saved register 6.
+    pub const S6: XReg = 22;
+    /// Saved register 7.
+    pub const S7: XReg = 23;
+    /// Saved register 8.
+    pub const S8: XReg = 24;
+    /// Saved register 9.
+    pub const S9: XReg = 25;
+    /// Saved register 10.
+    pub const S10: XReg = 26;
+    /// Saved register 11.
+    pub const S11: XReg = 27;
+    /// Temporary 3.
+    pub const T3: XReg = 28;
+    /// Temporary 4.
+    pub const T4: XReg = 29;
+    /// Temporary 5.
+    pub const T5: XReg = 30;
+    /// Temporary 6.
+    pub const T6: XReg = 31;
+}
+
+/// What went wrong while resolving a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never defined.
+    UndefinedLabel {
+        /// The missing label.
+        label: &'static str,
+    },
+    /// A label was defined twice.
+    DuplicateLabel {
+        /// The re-defined label.
+        label: &'static str,
+    },
+    /// A resolved pc-relative offset does not fit the instruction format.
+    OffsetOutOfRange {
+        /// The referenced label.
+        label: &'static str,
+        /// The byte offset that did not fit.
+        offset: i64,
+        /// The format's limit (±limit bytes, exclusive upper bound).
+        limit: i64,
+    },
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UndefinedLabel { label } => write!(f, "undefined label `{label}`"),
+            Self::DuplicateLabel { label } => write!(f, "duplicate label `{label}`"),
+            Self::OffsetOutOfRange {
+                label,
+                offset,
+                limit,
+            } => write!(
+                f,
+                "offset {offset} to label `{label}` exceeds ±{limit} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Which label-referencing instruction form a fixup patches.
+#[derive(Debug, Clone, Copy)]
+enum FixupKind {
+    /// B-type conditional branch (±4 KiB).
+    Branch,
+    /// J-type `jal` (±1 MiB).
+    Jal,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Fixup {
+    /// Index into `instrs` of the instruction to patch.
+    at: usize,
+    label: &'static str,
+    kind: FixupKind,
+}
+
+/// A resolved program: encoded words plus the base address they load at.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Load address of the first instruction.
+    pub base: u32,
+    /// Encoded machine words, in order.
+    pub words: Vec<u32>,
+}
+
+impl Program {
+    /// Writes the program image into `mem` starting at `self.base`.
+    pub fn load_into(&self, mem: &mut SparseMemory) {
+        for (i, word) in self.words.iter().enumerate() {
+            mem.store_u32(self.base + 4 * i as u32, *word);
+        }
+    }
+
+    /// Program size in bytes.
+    #[must_use]
+    pub fn len_bytes(&self) -> u32 {
+        4 * self.words.len() as u32
+    }
+}
+
+/// The two-pass builder. Emit instructions and labels in program order, then
+/// call [`Assembler::finish`].
+#[derive(Debug)]
+pub struct Assembler {
+    base: u32,
+    instrs: Vec<Instr>,
+    labels: BTreeMap<&'static str, usize>,
+    fixups: Vec<Fixup>,
+    error: Option<AsmError>,
+}
+
+impl Assembler {
+    /// A new program that will load at `base` (must be 4-byte aligned).
+    #[must_use]
+    pub fn new(base: u32) -> Self {
+        Self {
+            base,
+            instrs: Vec::new(),
+            labels: BTreeMap::new(),
+            fixups: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Defines `label` at the current position.
+    pub fn label(&mut self, label: &'static str) {
+        if self.labels.insert(label, self.instrs.len()).is_some() && self.error.is_none() {
+            self.error = Some(AsmError::DuplicateLabel { label });
+        }
+    }
+
+    /// Appends a raw instruction.
+    pub fn push(&mut self, instr: Instr) {
+        self.instrs.push(instr);
+    }
+
+    /// Resolves labels, range-checks offsets and encodes.
+    pub fn finish(mut self) -> Result<Program, AsmError> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        for fixup in &self.fixups {
+            let target = *self
+                .labels
+                .get(fixup.label)
+                .ok_or(AsmError::UndefinedLabel { label: fixup.label })?;
+            let offset = (target as i64 - fixup.at as i64) * 4;
+            let limit: i64 = match fixup.kind {
+                FixupKind::Branch => 4096,
+                FixupKind::Jal => 1_048_576,
+            };
+            if offset < -limit || offset >= limit {
+                return Err(AsmError::OffsetOutOfRange {
+                    label: fixup.label,
+                    offset,
+                    limit,
+                });
+            }
+            let offset = offset as i32;
+            match &mut self.instrs[fixup.at] {
+                Instr::Branch { offset: slot, .. } | Instr::Jal { offset: slot, .. } => {
+                    *slot = offset;
+                }
+                // Fixups are only ever recorded against Branch/Jal below.
+                _ => unreachable!("fixup against non-branch instruction"),
+            }
+        }
+        Ok(Program {
+            base: self.base,
+            words: self.instrs.iter().map(|i| i.encode()).collect(),
+        })
+    }
+
+    fn fixup(&mut self, label: &'static str, kind: FixupKind) {
+        self.fixups.push(Fixup {
+            at: self.instrs.len(),
+            label,
+            kind,
+        });
+    }
+
+    // ---- RV32I instructions -------------------------------------------------
+
+    /// `lui rd, imm` (`imm` keeps only its upper 20 bits).
+    pub fn lui(&mut self, rd: XReg, imm: u32) {
+        self.push(Instr::Lui { rd, imm });
+    }
+
+    /// `auipc rd, imm`.
+    pub fn auipc(&mut self, rd: XReg, imm: u32) {
+        self.push(Instr::Auipc { rd, imm });
+    }
+
+    /// `jal rd, label`.
+    pub fn jal(&mut self, rd: XReg, label: &'static str) {
+        self.fixup(label, FixupKind::Jal);
+        self.push(Instr::Jal { rd, offset: 0 });
+    }
+
+    /// `jalr rd, offset(rs1)`.
+    pub fn jalr(&mut self, rd: XReg, rs1: XReg, offset: i32) {
+        self.push(Instr::Jalr { rd, rs1, offset });
+    }
+
+    fn branch(&mut self, op: BranchOp, rs1: XReg, rs2: XReg, label: &'static str) {
+        self.fixup(label, FixupKind::Branch);
+        self.push(Instr::Branch {
+            op,
+            rs1,
+            rs2,
+            offset: 0,
+        });
+    }
+
+    /// `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: XReg, rs2: XReg, label: &'static str) {
+        self.branch(BranchOp::Beq, rs1, rs2, label);
+    }
+
+    /// `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: XReg, rs2: XReg, label: &'static str) {
+        self.branch(BranchOp::Bne, rs1, rs2, label);
+    }
+
+    /// `blt rs1, rs2, label`.
+    pub fn blt(&mut self, rs1: XReg, rs2: XReg, label: &'static str) {
+        self.branch(BranchOp::Blt, rs1, rs2, label);
+    }
+
+    /// `bge rs1, rs2, label`.
+    pub fn bge(&mut self, rs1: XReg, rs2: XReg, label: &'static str) {
+        self.branch(BranchOp::Bge, rs1, rs2, label);
+    }
+
+    /// `bltu rs1, rs2, label`.
+    pub fn bltu(&mut self, rs1: XReg, rs2: XReg, label: &'static str) {
+        self.branch(BranchOp::Bltu, rs1, rs2, label);
+    }
+
+    /// `bgeu rs1, rs2, label`.
+    pub fn bgeu(&mut self, rs1: XReg, rs2: XReg, label: &'static str) {
+        self.branch(BranchOp::Bgeu, rs1, rs2, label);
+    }
+
+    /// `lb rd, offset(rs1)`.
+    pub fn lb(&mut self, rd: XReg, offset: i32, rs1: XReg) {
+        self.push(Instr::Load { op: LoadOp::Lb, rd, rs1, offset });
+    }
+
+    /// `lbu rd, offset(rs1)`.
+    pub fn lbu(&mut self, rd: XReg, offset: i32, rs1: XReg) {
+        self.push(Instr::Load { op: LoadOp::Lbu, rd, rs1, offset });
+    }
+
+    /// `lh rd, offset(rs1)`.
+    pub fn lh(&mut self, rd: XReg, offset: i32, rs1: XReg) {
+        self.push(Instr::Load { op: LoadOp::Lh, rd, rs1, offset });
+    }
+
+    /// `lhu rd, offset(rs1)`.
+    pub fn lhu(&mut self, rd: XReg, offset: i32, rs1: XReg) {
+        self.push(Instr::Load { op: LoadOp::Lhu, rd, rs1, offset });
+    }
+
+    /// `lw rd, offset(rs1)`.
+    pub fn lw(&mut self, rd: XReg, offset: i32, rs1: XReg) {
+        self.push(Instr::Load { op: LoadOp::Lw, rd, rs1, offset });
+    }
+
+    /// `sb rs2, offset(rs1)`.
+    pub fn sb(&mut self, rs2: XReg, offset: i32, rs1: XReg) {
+        self.push(Instr::Store { op: StoreOp::Sb, rs1, rs2, offset });
+    }
+
+    /// `sh rs2, offset(rs1)`.
+    pub fn sh(&mut self, rs2: XReg, offset: i32, rs1: XReg) {
+        self.push(Instr::Store { op: StoreOp::Sh, rs1, rs2, offset });
+    }
+
+    /// `sw rs2, offset(rs1)`.
+    pub fn sw(&mut self, rs2: XReg, offset: i32, rs1: XReg) {
+        self.push(Instr::Store { op: StoreOp::Sw, rs1, rs2, offset });
+    }
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: XReg, rs1: XReg, imm: i32) {
+        self.push(Instr::AluImm { op: AluOp::Add, rd, rs1, imm });
+    }
+
+    /// `slti rd, rs1, imm`.
+    pub fn slti(&mut self, rd: XReg, rs1: XReg, imm: i32) {
+        self.push(Instr::AluImm { op: AluOp::Slt, rd, rs1, imm });
+    }
+
+    /// `sltiu rd, rs1, imm`.
+    pub fn sltiu(&mut self, rd: XReg, rs1: XReg, imm: i32) {
+        self.push(Instr::AluImm { op: AluOp::Sltu, rd, rs1, imm });
+    }
+
+    /// `xori rd, rs1, imm`.
+    pub fn xori(&mut self, rd: XReg, rs1: XReg, imm: i32) {
+        self.push(Instr::AluImm { op: AluOp::Xor, rd, rs1, imm });
+    }
+
+    /// `ori rd, rs1, imm`.
+    pub fn ori(&mut self, rd: XReg, rs1: XReg, imm: i32) {
+        self.push(Instr::AluImm { op: AluOp::Or, rd, rs1, imm });
+    }
+
+    /// `andi rd, rs1, imm`.
+    pub fn andi(&mut self, rd: XReg, rs1: XReg, imm: i32) {
+        self.push(Instr::AluImm { op: AluOp::And, rd, rs1, imm });
+    }
+
+    /// `slli rd, rs1, shamt`.
+    pub fn slli(&mut self, rd: XReg, rs1: XReg, shamt: i32) {
+        self.push(Instr::AluImm { op: AluOp::Sll, rd, rs1, imm: shamt });
+    }
+
+    /// `srli rd, rs1, shamt`.
+    pub fn srli(&mut self, rd: XReg, rs1: XReg, shamt: i32) {
+        self.push(Instr::AluImm { op: AluOp::Srl, rd, rs1, imm: shamt });
+    }
+
+    /// `srai rd, rs1, shamt`.
+    pub fn srai(&mut self, rd: XReg, rs1: XReg, shamt: i32) {
+        self.push(Instr::AluImm { op: AluOp::Sra, rd, rs1, imm: shamt });
+    }
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: XReg, rs1: XReg, rs2: XReg) {
+        self.push(Instr::Alu { op: AluOp::Add, rd, rs1, rs2 });
+    }
+
+    /// `sub rd, rs1, rs2`.
+    pub fn sub(&mut self, rd: XReg, rs1: XReg, rs2: XReg) {
+        self.push(Instr::Alu { op: AluOp::Sub, rd, rs1, rs2 });
+    }
+
+    /// `sll rd, rs1, rs2`.
+    pub fn sll(&mut self, rd: XReg, rs1: XReg, rs2: XReg) {
+        self.push(Instr::Alu { op: AluOp::Sll, rd, rs1, rs2 });
+    }
+
+    /// `slt rd, rs1, rs2`.
+    pub fn slt(&mut self, rd: XReg, rs1: XReg, rs2: XReg) {
+        self.push(Instr::Alu { op: AluOp::Slt, rd, rs1, rs2 });
+    }
+
+    /// `sltu rd, rs1, rs2`.
+    pub fn sltu(&mut self, rd: XReg, rs1: XReg, rs2: XReg) {
+        self.push(Instr::Alu { op: AluOp::Sltu, rd, rs1, rs2 });
+    }
+
+    /// `xor rd, rs1, rs2`.
+    pub fn xor(&mut self, rd: XReg, rs1: XReg, rs2: XReg) {
+        self.push(Instr::Alu { op: AluOp::Xor, rd, rs1, rs2 });
+    }
+
+    /// `srl rd, rs1, rs2`.
+    pub fn srl(&mut self, rd: XReg, rs1: XReg, rs2: XReg) {
+        self.push(Instr::Alu { op: AluOp::Srl, rd, rs1, rs2 });
+    }
+
+    /// `sra rd, rs1, rs2`.
+    pub fn sra(&mut self, rd: XReg, rs1: XReg, rs2: XReg) {
+        self.push(Instr::Alu { op: AluOp::Sra, rd, rs1, rs2 });
+    }
+
+    /// `or rd, rs1, rs2`.
+    pub fn or(&mut self, rd: XReg, rs1: XReg, rs2: XReg) {
+        self.push(Instr::Alu { op: AluOp::Or, rd, rs1, rs2 });
+    }
+
+    /// `and rd, rs1, rs2`.
+    pub fn and(&mut self, rd: XReg, rs1: XReg, rs2: XReg) {
+        self.push(Instr::Alu { op: AluOp::And, rd, rs1, rs2 });
+    }
+
+    /// `mul rd, rs1, rs2`.
+    pub fn mul(&mut self, rd: XReg, rs1: XReg, rs2: XReg) {
+        self.push(Instr::MulDiv { op: MulOp::Mul, rd, rs1, rs2 });
+    }
+
+    /// `mulh rd, rs1, rs2`.
+    pub fn mulh(&mut self, rd: XReg, rs1: XReg, rs2: XReg) {
+        self.push(Instr::MulDiv { op: MulOp::Mulh, rd, rs1, rs2 });
+    }
+
+    /// `mulhsu rd, rs1, rs2`.
+    pub fn mulhsu(&mut self, rd: XReg, rs1: XReg, rs2: XReg) {
+        self.push(Instr::MulDiv { op: MulOp::Mulhsu, rd, rs1, rs2 });
+    }
+
+    /// `mulhu rd, rs1, rs2`.
+    pub fn mulhu(&mut self, rd: XReg, rs1: XReg, rs2: XReg) {
+        self.push(Instr::MulDiv { op: MulOp::Mulhu, rd, rs1, rs2 });
+    }
+
+    /// `div rd, rs1, rs2`.
+    pub fn div(&mut self, rd: XReg, rs1: XReg, rs2: XReg) {
+        self.push(Instr::MulDiv { op: MulOp::Div, rd, rs1, rs2 });
+    }
+
+    /// `divu rd, rs1, rs2`.
+    pub fn divu(&mut self, rd: XReg, rs1: XReg, rs2: XReg) {
+        self.push(Instr::MulDiv { op: MulOp::Divu, rd, rs1, rs2 });
+    }
+
+    /// `rem rd, rs1, rs2`.
+    pub fn rem(&mut self, rd: XReg, rs1: XReg, rs2: XReg) {
+        self.push(Instr::MulDiv { op: MulOp::Rem, rd, rs1, rs2 });
+    }
+
+    /// `remu rd, rs1, rs2`.
+    pub fn remu(&mut self, rd: XReg, rs1: XReg, rs2: XReg) {
+        self.push(Instr::MulDiv { op: MulOp::Remu, rd, rs1, rs2 });
+    }
+
+    /// `ebreak` — halt.
+    pub fn ebreak(&mut self) {
+        self.push(Instr::Ebreak);
+    }
+
+    // ---- Pseudo-instructions ------------------------------------------------
+
+    /// `li rd, value` — one or two instructions depending on the constant.
+    pub fn li(&mut self, rd: XReg, value: u32) {
+        let low = (value & 0xfff) as i32;
+        let low = if low >= 0x800 { low - 0x1000 } else { low };
+        let high = value.wrapping_sub(low as u32);
+        if high == 0 {
+            self.addi(rd, reg::ZERO, low);
+        } else {
+            self.lui(rd, high);
+            if low != 0 {
+                self.addi(rd, rd, low);
+            }
+        }
+    }
+
+    /// `mv rd, rs` — copy.
+    pub fn mv(&mut self, rd: XReg, rs: XReg) {
+        self.addi(rd, rs, 0);
+    }
+
+    /// `j label` — unconditional jump, no link.
+    pub fn j(&mut self, label: &'static str) {
+        self.jal(reg::ZERO, label);
+    }
+
+    /// `call label` — `jal ra, label` (links into `ra`, so the pipeline's
+    /// trace adapter classifies it as a Call and pushes the RAS).
+    pub fn call(&mut self, label: &'static str) {
+        self.jal(reg::RA, label);
+    }
+
+    /// `ret` — `jalr x0, 0(ra)` (a Return popping the RAS).
+    pub fn ret(&mut self) {
+        self.jalr(reg::ZERO, reg::RA, 0);
+    }
+
+    /// `nop`.
+    pub fn nop(&mut self) {
+        self.addi(reg::ZERO, reg::ZERO, 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::reg::{A0, RA, T0, T1, ZERO};
+    use super::*;
+    use crate::cpu::{Cpu, Trap};
+
+    fn run_to_halt(program: &Program) -> Cpu {
+        let mut mem = SparseMemory::new();
+        program.load_into(&mut mem);
+        let mut cpu = Cpu::new(program.base, mem);
+        loop {
+            match cpu.step() {
+                Ok(_) => continue,
+                Err(Trap::Halt { .. }) => return cpu,
+                Err(trap) => panic!("unexpected trap {trap:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn counted_loop_executes_correctly() {
+        let mut a = Assembler::new(0x1000);
+        a.li(T0, 0); // sum
+        a.li(T1, 10); // counter
+        a.label("loop");
+        a.add(T0, T0, T1);
+        a.addi(T1, T1, -1);
+        a.bne(T1, ZERO, "loop");
+        a.mv(A0, T0);
+        a.ebreak();
+        let program = a.finish().expect("assembles");
+        let cpu = run_to_halt(&program);
+        assert_eq!(cpu.reg(A0), 55); // 10+9+...+1
+    }
+
+    #[test]
+    fn call_and_ret_link_through_ra() {
+        let mut a = Assembler::new(0x1000);
+        a.j("start");
+        a.label("double");
+        a.add(A0, A0, A0);
+        a.ret();
+        a.label("start");
+        a.li(A0, 21);
+        a.call("double");
+        a.ebreak();
+        let program = a.finish().expect("assembles");
+        let cpu = run_to_halt(&program);
+        assert_eq!(cpu.reg(A0), 42);
+        // The call links to the instruction after it — the final ebreak.
+        assert_eq!(cpu.reg(RA), program.base + program.len_bytes() - 4);
+    }
+
+    #[test]
+    fn li_covers_all_constant_shapes() {
+        for value in [
+            0u32,
+            1,
+            2047,
+            2048, // needs lui (low part becomes negative)
+            4096,
+            0x0000_8000,
+            0x7fff_ffff,
+            0x8000_0000,
+            0xffff_ffff, // lui 0 + addi -1
+            0xdead_beef,
+            0x0001_0800,
+        ] {
+            let mut a = Assembler::new(0x1000);
+            a.li(T0, value);
+            a.ebreak();
+            let program = a.finish().expect("assembles");
+            let cpu = run_to_halt(&program);
+            assert_eq!(cpu.reg(T0), value, "li {value:#010x}");
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Assembler::new(0x1000);
+        a.beq(ZERO, ZERO, "nowhere");
+        assert_eq!(
+            a.finish().expect_err("must fail"),
+            AsmError::UndefinedLabel { label: "nowhere" }
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut a = Assembler::new(0x1000);
+        a.label("here");
+        a.nop();
+        a.label("here");
+        assert_eq!(
+            a.finish().expect_err("must fail"),
+            AsmError::DuplicateLabel { label: "here" }
+        );
+    }
+
+    #[test]
+    fn branch_out_of_range_is_an_error() {
+        let mut a = Assembler::new(0x1000);
+        a.beq(ZERO, ZERO, "far");
+        for _ in 0..1200 {
+            a.nop(); // 4800 bytes — past the ±4 KiB B-type range
+        }
+        a.label("far");
+        a.ebreak();
+        match a.finish().expect_err("must fail") {
+            AsmError::OffsetOutOfRange { label, limit, .. } => {
+                assert_eq!(label, "far");
+                assert_eq!(limit, 4096);
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = Assembler::new(0x1000);
+        a.li(T0, 3);
+        a.label("back");
+        a.addi(T0, T0, -1);
+        a.bne(T0, ZERO, "back"); // backward
+        a.beq(ZERO, ZERO, "fwd"); // forward
+        a.li(T0, 99); // skipped
+        a.label("fwd");
+        a.ebreak();
+        let cpu = run_to_halt(&a.finish().expect("assembles"));
+        assert_eq!(cpu.reg(T0), 0);
+    }
+}

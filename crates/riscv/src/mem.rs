@@ -1,0 +1,163 @@
+//! Flat sparse memory for the RV32IM interpreter.
+//!
+//! A 32-bit address space backed by 4 KiB pages allocated on first write and
+//! kept in a `BTreeMap` (deterministic iteration order, no ambient hash
+//! state — the workspace's simlint D1 rule bans `HashMap` in library code for
+//! exactly this reason). Reads from unmapped pages return zero, matching how
+//! the kernels use the space: every program initializes its own data region
+//! before reading it, and zero-filled fresh memory is the conventional
+//! user-mode contract anyway.
+//!
+//! Alignment is *not* checked here — the [`Cpu`](crate::cpu::Cpu) traps on
+//! misaligned accesses before they reach the memory, so halfword and word
+//! accessors can assume they never straddle a page (the page size is a
+//! multiple of four).
+
+use std::collections::BTreeMap;
+
+/// Bytes per page. A power of two and a multiple of 4, so aligned word
+/// accesses never cross a page boundary.
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Sparse byte-addressable memory over the full 32-bit address space.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseMemory {
+    /// Page-aligned base address → page contents.
+    pages: BTreeMap<u32, Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl SparseMemory {
+    /// An empty (all-zero) memory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pages that have been materialized by writes.
+    #[must_use]
+    pub fn mapped_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn page_base(addr: u32) -> u32 {
+        addr & !(PAGE_SIZE - 1)
+    }
+
+    fn page_offset(addr: u32) -> usize {
+        (addr & (PAGE_SIZE - 1)) as usize
+    }
+
+    /// Reads one byte; unmapped addresses read as zero.
+    #[must_use]
+    pub fn load_u8(&self, addr: u32) -> u8 {
+        self.pages
+            .get(&Self::page_base(addr))
+            .map_or(0, |page| page[Self::page_offset(addr)])
+    }
+
+    /// Reads an aligned little-endian halfword (the caller guarantees
+    /// 2-byte alignment).
+    #[must_use]
+    pub fn load_u16(&self, addr: u32) -> u16 {
+        match self.pages.get(&Self::page_base(addr)) {
+            None => 0,
+            Some(page) => {
+                let o = Self::page_offset(addr);
+                u16::from_le_bytes([page[o], page[o + 1]])
+            }
+        }
+    }
+
+    /// Reads an aligned little-endian word (the caller guarantees 4-byte
+    /// alignment).
+    #[must_use]
+    pub fn load_u32(&self, addr: u32) -> u32 {
+        match self.pages.get(&Self::page_base(addr)) {
+            None => 0,
+            Some(page) => {
+                let o = Self::page_offset(addr);
+                u32::from_le_bytes([page[o], page[o + 1], page[o + 2], page[o + 3]])
+            }
+        }
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE as usize] {
+        self.pages
+            .entry(Self::page_base(addr))
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE as usize]))
+    }
+
+    /// Writes one byte, materializing the page if needed.
+    pub fn store_u8(&mut self, addr: u32, value: u8) {
+        self.page_mut(addr)[Self::page_offset(addr)] = value;
+    }
+
+    /// Writes an aligned little-endian halfword.
+    pub fn store_u16(&mut self, addr: u32, value: u16) {
+        let o = Self::page_offset(addr);
+        self.page_mut(addr)[o..o + 2].copy_from_slice(&value.to_le_bytes());
+    }
+
+    /// Writes an aligned little-endian word.
+    pub fn store_u32(&mut self, addr: u32, value: u32) {
+        let o = Self::page_offset(addr);
+        self.page_mut(addr)[o..o + 4].copy_from_slice(&value.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_memory_reads_zero() {
+        let mem = SparseMemory::new();
+        assert_eq!(mem.load_u8(0), 0);
+        assert_eq!(mem.load_u16(0x1234_5678 & !1), 0);
+        assert_eq!(mem.load_u32(0xffff_fffc), 0);
+        assert_eq!(mem.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn round_trips_all_widths() {
+        let mut mem = SparseMemory::new();
+        mem.store_u8(0x10, 0xab);
+        mem.store_u16(0x20, 0xbeef);
+        mem.store_u32(0x30, 0xdead_beef);
+        assert_eq!(mem.load_u8(0x10), 0xab);
+        assert_eq!(mem.load_u16(0x20), 0xbeef);
+        assert_eq!(mem.load_u32(0x30), 0xdead_beef);
+        assert_eq!(mem.mapped_pages(), 1);
+    }
+
+    #[test]
+    fn words_are_little_endian_bytes() {
+        let mut mem = SparseMemory::new();
+        mem.store_u32(0x100, 0x0403_0201);
+        assert_eq!(mem.load_u8(0x100), 0x01);
+        assert_eq!(mem.load_u8(0x103), 0x04);
+        assert_eq!(mem.load_u16(0x102), 0x0403);
+    }
+
+    #[test]
+    fn pages_are_independent_and_sparse() {
+        let mut mem = SparseMemory::new();
+        mem.store_u32(0x0000_0ffc, 1); // last word of page 0
+        mem.store_u32(0x0000_1000, 2); // first word of page 1
+        mem.store_u32(0x8000_0000, 3); // far away
+        assert_eq!(mem.mapped_pages(), 3);
+        assert_eq!(mem.load_u32(0x0000_0ffc), 1);
+        assert_eq!(mem.load_u32(0x0000_1000), 2);
+        assert_eq!(mem.load_u32(0x8000_0000), 3);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = SparseMemory::new();
+        a.store_u32(0x40, 7);
+        let b = a.clone();
+        a.store_u32(0x40, 9);
+        assert_eq!(b.load_u32(0x40), 7);
+        assert_eq!(a.load_u32(0x40), 9);
+    }
+}

@@ -19,20 +19,20 @@ fn main() {
         SimulationParams {
             instructions: 40_000,
             fault_map_pairs: 3,
-            benchmarks: vec![
-                Benchmark::Crafty,
-                Benchmark::Gzip,
-                Benchmark::Mesa,
-                Benchmark::Sixtrack,
-                Benchmark::Mcf,
-                Benchmark::Swim,
+            workloads: vec![
+                Benchmark::Crafty.into(),
+                Benchmark::Gzip.into(),
+                Benchmark::Mesa.into(),
+                Benchmark::Sixtrack.into(),
+                Benchmark::Mcf.into(),
+                Benchmark::Swim.into(),
             ],
             ..SimulationParams::quick()
         }
     };
     eprintln!(
-        "running {} benchmarks x {} fault-map pairs x {} instructions ...",
-        params.benchmarks.len(),
+        "running {} workloads x {} fault-map pairs x {} instructions ...",
+        params.workloads.len(),
         params.fault_map_pairs,
         params.instructions
     );

@@ -8,7 +8,11 @@ fn smoke_params() -> SimulationParams {
     SimulationParams {
         instructions: 12_000,
         fault_map_pairs: 2,
-        benchmarks: vec![Benchmark::Crafty, Benchmark::Gzip, Benchmark::Swim],
+        workloads: vec![
+            Benchmark::Crafty.into(),
+            Benchmark::Gzip.into(),
+            Benchmark::Swim.into(),
+        ],
         ..SimulationParams::smoke()
     }
 }
@@ -16,7 +20,7 @@ fn smoke_params() -> SimulationParams {
 #[test]
 fn low_voltage_study_reproduces_the_papers_ordering() {
     let study = LowVoltageStudy::run(&smoke_params());
-    assert_eq!(study.benchmarks.len(), 3);
+    assert_eq!(study.workloads.len(), 3);
 
     let word = study.average_normalized(SchemeConfig::WordDisabling, SchemeConfig::Baseline);
     let block = study.average_normalized(SchemeConfig::BlockDisabling, SchemeConfig::Baseline);
@@ -45,7 +49,7 @@ fn low_voltage_figures_have_one_row_per_benchmark_and_sane_values() {
     let params = smoke_params();
     let study = LowVoltageStudy::run(&params);
     for table in [study.figure8(), study.figure9(), study.figure10()] {
-        assert_eq!(table.rows.len(), params.benchmarks.len());
+        assert_eq!(table.rows.len(), params.workloads.len());
         for (bench, values) in &table.rows {
             for v in values {
                 let v = v.expect("simulation tables have no missing cells");
@@ -65,7 +69,7 @@ fn low_voltage_figures_have_one_row_per_benchmark_and_sane_values() {
 #[test]
 fn minimum_performance_never_exceeds_average_performance() {
     let study = LowVoltageStudy::run(&smoke_params());
-    for b in &study.benchmarks {
+    for b in &study.workloads {
         for scheme in [
             SchemeConfig::BlockDisabling,
             SchemeConfig::BlockDisablingVictim10T,
@@ -76,7 +80,7 @@ fn minimum_performance_never_exceeds_average_performance() {
             assert!(
                 min <= avg + 1e-9,
                 "{}: min ({min}) exceeds avg ({avg}) for {scheme}",
-                b.benchmark
+                b.workload
             );
         }
     }
@@ -85,7 +89,7 @@ fn minimum_performance_never_exceeds_average_performance() {
 #[test]
 fn high_voltage_block_disabling_matches_the_baseline_exactly() {
     let mut params = smoke_params();
-    params.benchmarks = vec![Benchmark::Crafty, Benchmark::Mcf];
+    params.workloads = vec![Benchmark::Crafty.into(), Benchmark::Mcf.into()];
     let study = HighVoltageStudy::run(&params);
     let fig11 = study.figure11();
     for (bench, values) in &fig11.rows {
@@ -112,7 +116,7 @@ fn campaigns_are_reproducible_for_a_fixed_seed() {
     let params = SimulationParams {
         instructions: 8_000,
         fault_map_pairs: 2,
-        benchmarks: vec![Benchmark::Gzip],
+        workloads: vec![Benchmark::Gzip.into()],
         ..SimulationParams::smoke()
     };
     let a = LowVoltageStudy::run(&params);

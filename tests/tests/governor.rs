@@ -15,7 +15,7 @@ use vccmin_core::analysis::governor as model;
 use vccmin_core::cache::VoltageMode;
 use vccmin_core::experiments::simulation::GovernorStudy;
 use vccmin_core::experiments::{
-    run_governed, GovernedRun, GovernedRunSpec, GovernorPolicy, HighVoltageStudy, LowVoltageStudy,
+    run_governed, Workload, GovernedRun, GovernedRunSpec, GovernorPolicy, HighVoltageStudy, LowVoltageStudy,
     SchemeConfig, SimulationParams, TransitionCostModel,
 };
 use vccmin_core::cache::DisablingScheme;
@@ -24,25 +24,25 @@ use vccmin_core::{Benchmark, FaultMap};
 fn small_params(benchmarks: Vec<Benchmark>, instructions: u64) -> SimulationParams {
     SimulationParams {
         instructions,
-        benchmarks,
+        workloads: benchmarks.into_iter().map(Into::into).collect(),
         ..SimulationParams::smoke()
     }
 }
 
 fn pinned_run(
     params: &SimulationParams,
-    benchmark: Benchmark,
+    workload: Workload,
     mode: VoltageMode,
     maps: Option<&(FaultMap, FaultMap)>,
 ) -> GovernedRun {
     run_governed(&GovernedRunSpec {
-        benchmark,
+        workload,
         scheme: SchemeConfig::BlockDisabling,
         l2_scheme: DisablingScheme::Baseline,
         policy: &GovernorPolicy::pinned(mode),
         maps,
         l2_map: None,
-        trace_seed: params.trace_seed(benchmark),
+        trace_seed: params.trace_seed(workload),
         instructions: params.instructions,
         phases: None,
         cost: TransitionCostModel::Free,
@@ -55,20 +55,20 @@ fn pinned_low_governor_is_bit_identical_to_the_low_voltage_study() {
     let params = small_params(vec![Benchmark::Crafty, Benchmark::Swim], 6_000);
     let study = LowVoltageStudy::run(&params);
     let pairs = params.derived_fault_map_pairs();
-    for b in &study.benchmarks {
+    for b in &study.workloads {
         let config = b
             .config(SchemeConfig::BlockDisabling)
             .expect("the study evaluates block-disabling");
         assert_eq!(config.runs.len(), pairs.len());
         for (k, pair) in pairs.iter().enumerate() {
-            let governed = pinned_run(&params, b.benchmark, VoltageMode::Low, Some(pair));
+            let governed = pinned_run(&params, b.workload, VoltageMode::Low, Some(pair));
             assert_eq!(governed.segments.len(), 1, "a pinned schedule is one segment");
             assert_eq!(governed.transitions, 0);
             assert_eq!(governed.transition_cycles(), 0);
             assert_eq!(
                 governed.segments[0].sim, config.runs[k],
                 "{} pair {k}: the governed run must replay the study bit for bit",
-                b.benchmark.name()
+                b.workload.name()
             );
         }
     }
@@ -78,16 +78,16 @@ fn pinned_low_governor_is_bit_identical_to_the_low_voltage_study() {
 fn pinned_nominal_governor_is_bit_identical_to_the_high_voltage_study() {
     let params = small_params(vec![Benchmark::Mcf, Benchmark::Gzip], 6_000);
     let study = HighVoltageStudy::run(&params);
-    for b in &study.benchmarks {
+    for b in &study.workloads {
         let config = b
             .config(SchemeConfig::BlockDisabling)
             .expect("the study evaluates block-disabling");
-        let governed = pinned_run(&params, b.benchmark, VoltageMode::High, None);
+        let governed = pinned_run(&params, b.workload, VoltageMode::High, None);
         assert_eq!(governed.segments.len(), 1);
         assert_eq!(
             governed.segments[0].sim, config.runs[0],
             "{}: high-voltage governed run must replay the study",
-            b.benchmark.name()
+            b.workload.name()
         );
     }
 }
@@ -105,12 +105,12 @@ fn closed_form_overhead_model_cross_validates_the_simulation() {
         // governor executes (one cold quantum): every interval segment restarts
         // with cold caches, so quantum-scale IPC is the model's honest input.
         let quantum_params = small_params(vec![benchmark], quantum);
-        let nominal = pinned_run(&quantum_params, benchmark, VoltageMode::High, None);
-        let low = pinned_run(&quantum_params, benchmark, VoltageMode::Low, Some(pair));
+        let nominal = pinned_run(&quantum_params, benchmark.into(), VoltageMode::High, None);
+        let low = pinned_run(&quantum_params, benchmark.into(), VoltageMode::Low, Some(pair));
         let ipc_nominal = nominal.segments[0].sim.ipc();
         let ipc_low = low.segments[0].sim.ipc();
         let governed = run_governed(&GovernedRunSpec {
-            benchmark,
+            workload: benchmark.into(),
             scheme: SchemeConfig::BlockDisabling,
             l2_scheme: DisablingScheme::Baseline,
             policy: &GovernorPolicy::Interval {
@@ -119,7 +119,7 @@ fn closed_form_overhead_model_cross_validates_the_simulation() {
             },
             maps: Some(pair),
             l2_map: None,
-            trace_seed: params.trace_seed(benchmark),
+            trace_seed: params.trace_seed(benchmark.into()),
             instructions: params.instructions,
             phases: None,
             cost: TransitionCostModel::Fixed(cost),
@@ -169,13 +169,13 @@ proptest! {
         let pair = &params.derived_fault_map_pairs()[0];
         let run_with_quantum = |quantum: u64| -> GovernedRun {
             run_governed(&GovernedRunSpec {
-                benchmark,
+                workload: benchmark.into(),
                 scheme: SchemeConfig::BlockDisabling,
                 l2_scheme: DisablingScheme::Baseline,
                 policy: &GovernorPolicy::Interval { nominal: quantum, low: quantum },
                 maps: Some(pair),
                 l2_map: None,
-                trace_seed: params.trace_seed(benchmark),
+                trace_seed: params.trace_seed(benchmark.into()),
                 instructions: params.instructions,
                 phases: None,
                 cost: TransitionCostModel::Fixed(cost),
@@ -212,13 +212,13 @@ proptest! {
         let params = small_params(vec![benchmark], 4_000);
         let pair = &params.derived_fault_map_pairs()[0];
         let run = run_governed(&GovernedRunSpec {
-            benchmark,
+            workload: benchmark.into(),
             scheme: SchemeConfig::BlockDisabling,
             l2_scheme: DisablingScheme::Baseline,
             policy: &GovernorPolicy::Interval { nominal: 1_000, low: 1_000 },
             maps: Some(pair),
             l2_map: None,
-            trace_seed: params.trace_seed(benchmark),
+            trace_seed: params.trace_seed(benchmark.into()),
             instructions: params.instructions,
             phases: None,
             cost: TransitionCostModel::Free,

@@ -28,7 +28,7 @@ const L2_SCHEMES: &str = include_str!("../golden/l2_schemes.csv");
 fn smoke_params(l2: L2Protection) -> SimulationParams {
     SimulationParams {
         instructions: 5_000,
-        benchmarks: vec![Benchmark::Crafty, Benchmark::Gzip],
+        workloads: vec![Benchmark::Crafty.into(), Benchmark::Gzip.into()],
         l2,
         ..SimulationParams::smoke()
     }
@@ -84,13 +84,13 @@ fn faulty_l2_costs_performance() {
     )));
     let mut perfect_total = 0.0;
     let mut faulty_total = 0.0;
-    for (p, f) in perfect.benchmarks.iter().zip(&faulty.benchmarks) {
+    for (p, f) in perfect.workloads.iter().zip(&faulty.workloads) {
         for (pc, fc) in p.configs.iter().zip(&f.configs) {
             assert_eq!(pc.scheme, fc.scheme);
             assert!(
                 fc.mean_ipc() <= pc.mean_ipc() * (1.0 + 1e-3),
                 "{} {}: a faulty L2 ({}) must not beat a perfect one ({})",
-                p.benchmark.name(),
+                p.workload.name(),
                 pc.scheme,
                 fc.mean_ipc(),
                 pc.mean_ipc()
@@ -146,12 +146,12 @@ fn l2_whole_cache_failures_are_counted_and_stay_bit_identical() {
     // must come from the L2 path and agree across executors.
     let mut params = smoke_params(L2Protection::Fixed(DisablingScheme::WordDisabling));
     params.pfail = 0.005;
-    params.benchmarks = vec![Benchmark::Swim];
+    params.workloads = vec![Benchmark::Swim.into()];
     let serial = SchemeMatrixStudy::run(&params);
     let parallel = SchemeMatrixStudy::run_parallel(&params);
     assert_eq!(serial, parallel);
     let failures: usize = serial
-        .benchmarks
+        .workloads
         .iter()
         .flat_map(|b| b.configs.iter())
         .map(|c| c.whole_cache_failures)
@@ -171,7 +171,7 @@ fn governor_with_protected_l2_stays_bit_identical_and_charges_more_per_switch() 
     let parallel = GovernorStudy::run_parallel(&protected);
     assert_eq!(serial, parallel);
     let reference = GovernorStudy::run(&perfect);
-    for (p, f) in reference.benchmarks.iter().zip(&serial.benchmarks) {
+    for (p, f) in reference.workloads.iter().zip(&serial.workloads) {
         // Policy index 2 is the interval policy: it transitions, so the
         // block-disabled L2 must charge its per-set reconfiguration on top of
         // the L1s' on every evaluated map.
@@ -180,7 +180,7 @@ fn governor_with_protected_l2_stays_bit_identical_and_charges_more_per_switch() 
             assert!(
                 fr.transition_cycles() > pr.transition_cycles(),
                 "{}: protected-L2 transitions must cost more ({} vs {})",
-                p.benchmark.name(),
+                p.workload.name(),
                 fr.transition_cycles(),
                 pr.transition_cycles()
             );

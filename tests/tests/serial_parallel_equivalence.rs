@@ -25,7 +25,7 @@ fn quick_scale_params() -> SimulationParams {
 #[test]
 fn parallel_low_voltage_study_is_bit_identical_to_serial_at_quick_scale() {
     let params = quick_scale_params();
-    assert_eq!(params.benchmarks.len(), 26, "quick() covers all benchmarks");
+    assert_eq!(params.workloads.len(), 26, "quick() covers all benchmarks");
     assert_eq!(params.fault_map_pairs, 5);
 
     let serial = LowVoltageStudy::run(&params);
@@ -111,7 +111,7 @@ fn parallel_yield_study_is_bit_identical_to_serial_at_quick_scale() {
 #[test]
 fn repeated_parallel_runs_are_reproducible() {
     let mut params = quick_scale_params();
-    params.benchmarks.truncate(4);
+    params.workloads.truncate(4);
     params.instructions = 3_000;
     let a = LowVoltageStudy::run_parallel(&params);
     let b = LowVoltageStudy::run_parallel(&params);

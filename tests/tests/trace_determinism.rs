@@ -1,4 +1,4 @@
-//! Deterministic-seed regression tests for the synthetic trace generators.
+//! Deterministic-seed regression tests for every trace source.
 //!
 //! Every golden figure in this workspace is downstream of the
 //! [`TraceGenerator`] byte streams: if a change to `vccmin-workloads` shifts a
@@ -8,6 +8,12 @@
 //! below) so a workload change fails *here first*, with a per-benchmark
 //! message, before it fails everywhere else.
 //!
+//! The same hash is pinned for the four real RISC-V kernels, through the same
+//! [`Workload`] adapter the campaigns use: a change to the interpreter, the
+//! assembler, the kernel programs, or the retired-instruction translation
+//! shifts these hashes and fails here before it smears the `riscv_schemes`
+//! golden.
+//!
 //! If a change to the generator is intentional, re-derive the constants by
 //! running this test and copying the `actual` values from the failure output
 //! (the test prints every drifted benchmark) — and say so loudly in the commit
@@ -15,7 +21,7 @@
 //! with it.
 
 use vccmin_core::cpu::{BranchKind, OpClass, TraceInstruction};
-use vccmin_core::{Benchmark, TraceGenerator};
+use vccmin_core::{Benchmark, RvKernel, TraceGenerator, Workload};
 
 const SEED: u64 = 2010;
 const INSTRUCTIONS: usize = 4096;
@@ -137,6 +143,65 @@ fn every_benchmark_trace_is_pinned_to_its_golden_hash() {
         drifted.len(),
         drifted.join("\n")
     );
+}
+
+fn kernel_hash(kernel: RvKernel, seed: u64, instructions: usize) -> u64 {
+    let mut hash = Fnv1a::new();
+    // Through the campaign-facing Workload adapter, so the hash covers the
+    // interpreter, the kernel program, and the translation layer at once.
+    for instruction in Workload::from(kernel).source(seed).take(instructions) {
+        hash.write_instruction(&instruction);
+    }
+    hash.0
+}
+
+/// The pinned RISC-V hashes: `(kernel, fnv1a64 of the first 4096 retired
+/// instructions at seed 2010)`, in `RvKernel::ALL` order. The 4096-instruction
+/// prefix of every kernel is its seeded fill loop, whose *values* depend on
+/// the seed but whose control flow, registers, and addresses do not — so these
+/// hashes pin the program encoding and the translation, while the
+/// campaign-level goldens pin the seed-dependent tail.
+const RISCV_GOLDEN_HASHES: [(RvKernel, u64); 4] = [
+    (RvKernel::Matmul, 0x934fefdc746ecf35),
+    (RvKernel::Quicksort, 0xe95bfa57192ef865),
+    (RvKernel::HashJoin, 0x12b959072d4af9c7),
+    (RvKernel::Compress, 0x77ee116ad3815a0f),
+];
+
+#[test]
+fn every_riscv_kernel_trace_is_pinned_to_its_golden_hash() {
+    assert_eq!(RISCV_GOLDEN_HASHES.map(|(k, _)| k), RvKernel::ALL);
+    let mut drifted = Vec::new();
+    for (kernel, expected) in RISCV_GOLDEN_HASHES {
+        let actual = kernel_hash(kernel, SEED, INSTRUCTIONS);
+        if actual != expected {
+            drifted.push(format!(
+                "    (RvKernel::{kernel:?}, {actual:#018x}), // was {expected:#018x}"
+            ));
+        }
+    }
+    assert!(
+        drifted.is_empty(),
+        "RISC-V trace streams drifted for {} kernel(s); if intentional, update \
+         RISCV_GOLDEN_HASHES with the lines below AND regenerate \
+         tests/golden/riscv_schemes.csv:\n{}",
+        drifted.len(),
+        drifted.join("\n")
+    );
+}
+
+#[test]
+fn riscv_hashes_distinguish_the_kernels_and_repeat_exactly() {
+    let mut seen = std::collections::HashSet::new();
+    for kernel in RvKernel::ALL {
+        let h = kernel_hash(kernel, SEED, 2048);
+        assert_eq!(
+            h,
+            kernel_hash(kernel, SEED, 2048),
+            "{kernel}: two identical runs must hash identically"
+        );
+        assert!(seen.insert(h), "{kernel}: shares a trace hash with another kernel");
+    }
 }
 
 #[test]
