@@ -5,7 +5,10 @@
 //! * sensitivity of the block-disabled cache to the per-cell failure probability;
 //! * sensitivity of the victim-cache benefit to its entry count;
 //! * the cost of the probability analysis primitives used throughout (urn model vs
-//!   closed form).
+//!   closed form);
+//! * the run-level cost of each CPU backend on the identical trace (the
+//!   out-of-order cycle loop vs the in-order per-instruction model) — reported
+//!   for visibility, not gated like the hierarchy bench.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
@@ -14,8 +17,8 @@ use std::time::Duration;
 use vccmin_core::analysis::block_faults;
 use vccmin_core::cache::{DisablingScheme, HierarchyConfig, VictimCacheConfig, VoltageMode};
 use vccmin_core::{
-    ArrayGeometry, Benchmark, CacheGeometry, CacheHierarchy, CpuConfig, FaultMap, Pipeline,
-    TraceGenerator,
+    ArrayGeometry, Benchmark, CacheGeometry, CacheHierarchy, CoreModel, CpuConfig, FaultMap,
+    Pipeline, TraceGenerator,
 };
 
 fn run_block_disabled(pfail: f64, victim_entries: Option<usize>, instructions: u64) -> f64 {
@@ -61,6 +64,27 @@ fn bench_victim_entries(c: &mut Criterion) {
     group.finish();
 }
 
+fn run_core(core: CoreModel, instructions: u64) -> f64 {
+    let cfg = HierarchyConfig::ispass2010_baseline_high_voltage();
+    let hierarchy = CacheHierarchy::new(cfg);
+    let mut cpu = core.build(hierarchy);
+    let mut trace = TraceGenerator::new(&Benchmark::Crafty.profile(), 42);
+    cpu.run(&mut trace, Some(instructions)).ipc()
+}
+
+fn bench_core_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_core_model");
+    group.sample_size(10).measurement_time(Duration::from_secs(10));
+    for core in CoreModel::ALL {
+        let ipc = run_core(core, 20_000);
+        println!("[ablation_core_model] crafty, {core} core: IPC={ipc:.3}");
+        group.bench_with_input(BenchmarkId::from_parameter(core), &core, |b, &m| {
+            b.iter(|| black_box(run_core(black_box(m), 20_000)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_analysis_primitives(c: &mut Criterion) {
     let geom = ArrayGeometry::ispass2010_l1();
     for &block_bytes in &[32u64, 64, 128] {
@@ -84,6 +108,7 @@ criterion_group!(
     benches,
     bench_pfail_sensitivity,
     bench_victim_entries,
+    bench_core_models,
     bench_analysis_primitives
 );
 criterion_main!(benches);

@@ -12,7 +12,7 @@
 //! | [`analysis`] | `vccmin-analysis` | probability analysis of random cell faults (Eqs. 1–6, Figs. 3–7) |
 //! | [`fault`] | `vccmin-fault` | cache geometry, seeded fault maps, 6T/10T cells |
 //! | [`cache`] | `vccmin-cache` | set-associative caches, victim caches, disabling schemes, hierarchy |
-//! | [`cpu`] | `vccmin-cpu` | trace-driven cycle-level out-of-order core (Table II) |
+//! | [`cpu`] | `vccmin-cpu` | trace-driven cycle-level CPU backends: out-of-order (Table II) and in-order stall-on-use, behind the `Cpu` trait |
 //! | [`workloads`] | `vccmin-workloads` | 26 synthetic SPEC CPU2000-like trace generators |
 //! | [`riscv`] | `vccmin-riscv` | deterministic RV32IM interpreter + real kernel trace sources |
 //! | [`experiments`] | `vccmin-experiments` | Table I/III configurations, Figs. 8–12 campaigns, reports |
@@ -80,7 +80,8 @@ pub mod cache {
     pub use vccmin_cache::*;
 }
 
-/// Trace-driven cycle-level out-of-order processor model (Table II).
+/// Trace-driven cycle-level processor models (out-of-order Table II core and
+/// the in-order stall-on-use core) behind the `Cpu` trait.
 pub mod cpu {
     pub use vccmin_cpu::*;
 }
@@ -103,7 +104,7 @@ pub mod experiments {
 // Convenience re-exports of the most commonly used types.
 pub use vccmin_analysis::{ArrayGeometry, CellPfail};
 pub use vccmin_cache::{CacheHierarchy, DisablingScheme, HierarchyConfig, VoltageMode};
-pub use vccmin_cpu::{CpuConfig, Pipeline, SimResult};
+pub use vccmin_cpu::{CoreModel, CpuConfig, InOrderConfig, InOrderCore, Pipeline, SimResult};
 pub use vccmin_cache::{RepairScheme, WayDisableMask};
 pub use vccmin_experiments::{
     GovernedRun, GovernorPolicy, GovernorStudy, L2Protection, LowVoltageStudy, OverheadTable,

@@ -1,0 +1,226 @@
+//! The [`Cpu`] abstraction and the [`CoreModel`] campaign axis.
+//!
+//! Every consumer of a core — the scheme matrix, the voltage-mode governor, the
+//! RISC-V kernel campaigns — drives it through the [`Cpu`] trait, so a study can
+//! swap the out-of-order [`Pipeline`] for the in-order
+//! [`InOrderCore`](crate::inorder::InOrderCore) (or any future backend) without
+//! touching its own logic. [`CoreModel`] is the serializable/parsable selector
+//! that campaigns thread through their parameters and the CLI exposes as
+//! `--core`; [`CoreModel::build`] is the single factory path through which both
+//! the simulation and governor executors construct cores.
+
+use std::fmt;
+
+use vccmin_cache::CacheHierarchy;
+
+use crate::config::CpuConfig;
+use crate::inorder::{InOrderConfig, InOrderCore};
+use crate::pipeline::{Pipeline, TraceSource};
+use crate::result::SimResult;
+
+/// A trace-driven cycle-level CPU backend over a [`CacheHierarchy`].
+///
+/// Implementations must be deterministic: the same trace against the same
+/// hierarchy and internal state yields the same [`SimResult`], bit for bit.
+pub trait Cpu {
+    /// Simulates the trace until it is exhausted or `max_instructions` have
+    /// been committed, and returns the aggregate result.
+    fn run(&mut self, trace: &mut dyn TraceSource, max_instructions: Option<u64>) -> SimResult;
+
+    /// The cache hierarchy (e.g. to inspect statistics after a run).
+    fn hierarchy(&self) -> &CacheHierarchy;
+
+    /// Mutable access to the cache hierarchy (e.g. to reconfigure or warm it
+    /// between runs).
+    fn hierarchy_mut(&mut self) -> &mut CacheHierarchy;
+
+    /// Resets every statistics counter (cache hierarchy, branch predictor)
+    /// while preserving cache contents and predictor training state, so
+    /// consecutive [`Cpu::run`] calls report per-segment counters.
+    fn reset_stats(&mut self);
+
+    /// Worst-case cycles to drain the machine before a voltage-mode
+    /// transition. Each backend reports its own bound: the out-of-order core
+    /// must retire up to a full reorder buffer, the in-order core only its
+    /// shallow in-flight window.
+    fn drain_cycles(&self) -> u64;
+
+    /// Which [`CoreModel`] this backend implements.
+    fn model(&self) -> CoreModel;
+
+    /// Short stable name for reporting (`"ooo"` / `"in-order"`).
+    fn name(&self) -> &'static str {
+        self.model().name()
+    }
+}
+
+impl Cpu for Pipeline {
+    fn run(&mut self, trace: &mut dyn TraceSource, max_instructions: Option<u64>) -> SimResult {
+        Pipeline::run(self, trace, max_instructions)
+    }
+
+    fn hierarchy(&self) -> &CacheHierarchy {
+        Pipeline::hierarchy(self)
+    }
+
+    fn hierarchy_mut(&mut self) -> &mut CacheHierarchy {
+        Pipeline::hierarchy_mut(self)
+    }
+
+    fn reset_stats(&mut self) {
+        Pipeline::reset_stats(self);
+    }
+
+    fn drain_cycles(&self) -> u64 {
+        Pipeline::drain_cycles(self)
+    }
+
+    fn model(&self) -> CoreModel {
+        CoreModel::OutOfOrder
+    }
+}
+
+/// Which CPU backend a campaign simulates — a first-class study axis alongside
+/// the repair scheme and the L2 protection level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum CoreModel {
+    /// The paper's Alpha-21264-like out-of-order core (Table II): MLP from the
+    /// reorder buffer, issue queues and load/store queue hides much of each
+    /// repair scheme's latency penalty.
+    #[default]
+    OutOfOrder,
+    /// A scalar stall-on-use in-order core sharing the same cache/latency
+    /// parameters: no MLP, so every extra cycle a scheme adds is exposed.
+    InOrder,
+}
+
+impl CoreModel {
+    /// Every core model, in reporting order (the default first).
+    pub const ALL: [Self; 2] = [Self::OutOfOrder, Self::InOrder];
+
+    /// CLI/report name of the out-of-order core.
+    pub const OUT_OF_ORDER_NAME: &'static str = "ooo";
+
+    /// CLI/report name of the in-order core.
+    pub const IN_ORDER_NAME: &'static str = "in-order";
+
+    /// Short stable name used in CLI flags, table labels and CSV columns.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::OutOfOrder => Self::OUT_OF_ORDER_NAME,
+            Self::InOrder => Self::IN_ORDER_NAME,
+        }
+    }
+
+    /// One-line description for `--list-cores`.
+    #[must_use]
+    pub fn description(self) -> &'static str {
+        match self {
+            Self::OutOfOrder => {
+                "out-of-order core of Table II (4-wide, 128-entry ROB, gshare + RAS); the default"
+            }
+            Self::InOrder => {
+                "scalar stall-on-use in-order core (blocking data cache, shared gshare front end)"
+            }
+        }
+    }
+
+    /// Parses a CLI name (`"ooo"`, `"out-of-order"`, `"in-order"`, `"inorder"`).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            Self::OUT_OF_ORDER_NAME | "out-of-order" | "o3" => Some(Self::OutOfOrder),
+            Self::IN_ORDER_NAME | "inorder" => Some(Self::InOrder),
+            _ => None,
+        }
+    }
+
+    /// Builds this core over `hierarchy` with the paper's structural parameters
+    /// — the one factory path shared by every campaign executor.
+    #[must_use]
+    pub fn build(self, hierarchy: CacheHierarchy) -> Box<dyn Cpu> {
+        self.build_with_config(CpuConfig::ispass2010(), hierarchy)
+    }
+
+    /// Builds this core over `hierarchy` with an explicit [`CpuConfig`].
+    #[must_use]
+    pub fn build_with_config(self, config: CpuConfig, hierarchy: CacheHierarchy) -> Box<dyn Cpu> {
+        match self {
+            Self::OutOfOrder => Box::new(Pipeline::new(config, hierarchy)),
+            Self::InOrder => Box::new(InOrderCore::new(
+                config,
+                InOrderConfig::scalar_stall_on_use(),
+                hierarchy,
+            )),
+        }
+    }
+}
+
+impl fmt::Display for CoreModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vccmin_cache::HierarchyConfig;
+
+    fn hierarchy() -> CacheHierarchy {
+        CacheHierarchy::new(HierarchyConfig::ispass2010_baseline_high_voltage())
+    }
+
+    #[test]
+    fn names_round_trip_through_from_name() {
+        for core in CoreModel::ALL {
+            assert_eq!(CoreModel::from_name(core.name()), Some(core));
+            assert_eq!(core.to_string(), core.name());
+        }
+        assert_eq!(CoreModel::from_name("out-of-order"), Some(CoreModel::OutOfOrder));
+        assert_eq!(CoreModel::from_name("inorder"), Some(CoreModel::InOrder));
+        assert_eq!(CoreModel::from_name("vliw"), None);
+    }
+
+    #[test]
+    fn default_is_the_out_of_order_core() {
+        assert_eq!(CoreModel::default(), CoreModel::OutOfOrder);
+        assert_eq!(CoreModel::ALL[0], CoreModel::OutOfOrder);
+    }
+
+    #[test]
+    fn factory_builds_a_backend_that_reports_its_model() {
+        for core in CoreModel::ALL {
+            let cpu = core.build(hierarchy());
+            assert_eq!(cpu.model(), core);
+            assert_eq!(cpu.name(), core.name());
+        }
+    }
+
+    #[test]
+    fn trait_run_on_the_pipeline_matches_the_inherent_run() {
+        use crate::instruction::{OpClass, TraceInstruction};
+        let trace: Vec<TraceInstruction> = (0..4_000)
+            .map(|i| TraceInstruction::alu(0x1000 + (i % 256) * 4, OpClass::IntAlu))
+            .collect();
+        let mut inherent = Pipeline::new(CpuConfig::ispass2010(), hierarchy());
+        let direct = inherent.run(&mut trace.clone().into_iter(), None);
+        let mut boxed = CoreModel::OutOfOrder.build(hierarchy());
+        let via_trait = boxed.run(&mut trace.into_iter(), None);
+        assert_eq!(direct, via_trait, "the trait must not change Pipeline behavior");
+    }
+
+    #[test]
+    fn drain_bounds_differ_by_backend_depth() {
+        let ooo = CoreModel::OutOfOrder.build(hierarchy());
+        let inorder = CoreModel::InOrder.build(hierarchy());
+        assert!(
+            inorder.drain_cycles() < ooo.drain_cycles(),
+            "the in-order core has no ROB to drain: {} vs {}",
+            inorder.drain_cycles(),
+            ooo.drain_cycles()
+        );
+    }
+}

@@ -1,0 +1,567 @@
+//! A scalar stall-on-use in-order core model.
+//!
+//! The comparison axis to the out-of-order [`Pipeline`](crate::Pipeline): the
+//! same front end (I-cache fetch blocks, gshare + RAS or static not-taken),
+//! the same functional-unit latencies and the same cache hierarchy, but no
+//! reorder buffer and no memory-level parallelism. Instructions issue strictly
+//! in program order, at most [`InOrderConfig::issue_width`] per cycle; an
+//! instruction stalls only when it *uses* a register whose producer has not
+//! completed (stall-on-use, so a load's latency is hidden until its first
+//! consumer), and the data cache is blocking — a miss occupies it until the
+//! fill returns, so misses serialize instead of overlapping.
+//!
+//! Because issue order equals program order, the model advances
+//! instruction-by-instruction instead of cycle-by-cycle: each instruction's
+//! issue cycle is the maximum of the front-end availability, its operands'
+//! ready cycles and the structural (width / functional-unit / memory-port)
+//! constraints of its issue group. Cache accesses still happen in program
+//! order, so the hierarchy state evolution is deterministic.
+
+use vccmin_cache::CacheHierarchy;
+
+use crate::branch::{BranchPredictor, FrontEndPredictor};
+use crate::config::CpuConfig;
+use crate::core::{CoreModel, Cpu};
+use crate::instruction::{BranchInfo, BranchKind, OpClass, NUM_REGS};
+use crate::pipeline::TraceSource;
+use crate::result::SimResult;
+
+/// The in-order sub-configuration layered on top of the shared [`CpuConfig`]
+/// (which still provides cache/latency parameters, functional-unit counts and
+/// the front-end depth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct InOrderConfig {
+    /// Instructions issued per cycle (1 = scalar).
+    pub issue_width: u32,
+    /// Whether the shared gshare + RAS front end predicts branches; when
+    /// `false`, conditional branches are statically predicted not-taken and
+    /// returns always mispredict (no RAS).
+    pub use_gshare: bool,
+}
+
+impl InOrderConfig {
+    /// The default comparison core: scalar, with the shared gshare front end
+    /// so the branch-prediction axis is held constant against the
+    /// out-of-order core.
+    #[must_use]
+    pub fn scalar_stall_on_use() -> Self {
+        Self {
+            issue_width: 1,
+            use_gshare: true,
+        }
+    }
+
+    /// A scalar core with a static not-taken front end (the simplest possible
+    /// fetch engine), for isolating how much the gshare front end contributes.
+    #[must_use]
+    pub fn static_not_taken() -> Self {
+        Self {
+            issue_width: 1,
+            use_gshare: false,
+        }
+    }
+}
+
+impl Default for InOrderConfig {
+    fn default() -> Self {
+        Self::scalar_stall_on_use()
+    }
+}
+
+/// Functional-unit class index for the per-cycle availability counters.
+fn fu_index(op: OpClass) -> usize {
+    match op {
+        OpClass::IntAlu | OpClass::Branch => 0,
+        OpClass::IntMul => 1,
+        OpClass::FpAlu => 2,
+        OpClass::FpMul => 3,
+        OpClass::Load | OpClass::Store => 4,
+    }
+}
+
+/// The in-order core: shared structural configuration, in-order
+/// sub-configuration, branch predictor and cache hierarchy.
+#[derive(Debug)]
+pub struct InOrderCore {
+    config: CpuConfig,
+    inorder: InOrderConfig,
+    hierarchy: CacheHierarchy,
+    predictor: FrontEndPredictor,
+}
+
+impl InOrderCore {
+    /// Creates an in-order core with the given configurations and hierarchy.
+    #[must_use]
+    pub fn new(config: CpuConfig, inorder: InOrderConfig, hierarchy: CacheHierarchy) -> Self {
+        let predictor = FrontEndPredictor::new(config.gshare_history_bits, config.ras_entries);
+        Self {
+            config,
+            inorder,
+            hierarchy,
+            predictor,
+        }
+    }
+
+    /// The cache hierarchy (e.g. to inspect statistics after a run).
+    #[must_use]
+    pub fn hierarchy(&self) -> &CacheHierarchy {
+        &self.hierarchy
+    }
+
+    /// Mutable access to the cache hierarchy.
+    pub fn hierarchy_mut(&mut self) -> &mut CacheHierarchy {
+        &mut self.hierarchy
+    }
+
+    /// Resets statistics counters while preserving cache contents and
+    /// predictor training state (see [`crate::Pipeline::reset_stats`]).
+    pub fn reset_stats(&mut self) {
+        self.hierarchy.reset_stats();
+        self.predictor.conditional_branches = 0;
+        self.predictor.mispredictions = 0;
+    }
+
+    /// Worst-case cycles to drain the core before a voltage-mode transition:
+    /// the shallow in-order bound — flush the front end, let the (at most
+    /// `issue_width`-deep) in-flight window complete, including one access
+    /// that missed all the way to memory. There is no reorder buffer to
+    /// retire, so this is far below the out-of-order bound.
+    #[must_use]
+    pub fn drain_cycles(&self) -> u64 {
+        let worst_memory_access = u64::from(
+            self.hierarchy.l2_hit_latency() + self.hierarchy.config().memory_latency,
+        );
+        u64::from(self.config.front_end_depth)
+            + u64::from(self.inorder.issue_width.max(1))
+            + worst_memory_access
+    }
+
+    /// Static not-taken prediction: no gshare, no RAS. Counts into the same
+    /// predictor statistics fields so [`SimResult`] reporting is uniform.
+    fn predict_static_not_taken(predictor: &mut FrontEndPredictor, info: &BranchInfo) -> bool {
+        match info.kind {
+            BranchKind::Conditional => {
+                predictor.conditional_branches += 1;
+                let correct = !info.taken;
+                if !correct {
+                    predictor.mispredictions += 1;
+                }
+                correct
+            }
+            // Direct jumps/calls have static targets; without a RAS every
+            // return mispredicts.
+            BranchKind::Jump | BranchKind::Call => true,
+            BranchKind::Return => {
+                predictor.mispredictions += 1;
+                false
+            }
+        }
+    }
+
+    /// Simulates the trace until it is exhausted or `max_instructions` have
+    /// been committed, and returns the aggregate result.
+    pub fn run(
+        &mut self,
+        trace: &mut dyn TraceSource,
+        max_instructions: Option<u64>,
+    ) -> SimResult {
+        let cfg = self.config;
+        let issue_width = self.inorder.issue_width.max(1);
+        let (l1i_hit_latency, l1d_hit_latency) = {
+            let hcfg = self.hierarchy.config();
+            (
+                hcfg.l1i.hit_latency(hcfg.voltage),
+                hcfg.l1d.hit_latency(hcfg.voltage),
+            )
+        };
+        let fu_limits = [
+            cfg.int_alus,
+            cfg.int_muls,
+            cfg.fp_alus,
+            cfg.fp_muls,
+            cfg.mem_ports,
+        ];
+        let limit = max_instructions.unwrap_or(u64::MAX);
+
+        let mut committed: u64 = 0;
+        let mut loads: u64 = 0;
+        let mut stores: u64 = 0;
+
+        // Cycle each architectural register's newest value becomes available.
+        let mut reg_ready = [0u64; NUM_REGS];
+        // Earliest cycle the next instruction may leave the front end; the
+        // first instruction traverses the full front-end depth.
+        let mut next_fetch: u64 = u64::from(cfg.front_end_depth);
+        let mut current_fetch_block: Option<u64> = None;
+        // Blocking data cache: earliest cycle the next memory op may access it.
+        let mut mem_free: u64 = 0;
+        // Issue-group (current cycle) structural accounting.
+        let mut group_cycle: u64 = 0;
+        let mut issued_in_group: u32 = 0;
+        let mut fu_used = [0u32; 5];
+        let mut last_complete: u64 = 0;
+
+        while committed < limit {
+            let Some(instr) = trace.next_instruction() else {
+                break;
+            };
+
+            // Instruction-cache access on a fetch-block change; extra latency
+            // over an L1I hit stalls the front end.
+            let block = instr.pc & !63;
+            if current_fetch_block != Some(block) {
+                let access = self.hierarchy.access_instr(instr.pc);
+                current_fetch_block = Some(block);
+                next_fetch += u64::from(access.latency.saturating_sub(l1i_hit_latency));
+            }
+
+            // Earliest issue cycle: front end, then stall-on-use on source
+            // operands, then the blocking data cache for memory ops.
+            let mut issue = next_fetch;
+            for src in instr.srcs.iter().flatten() {
+                issue = issue.max(reg_ready[usize::from(*src)]);
+            }
+            if instr.is_mem() {
+                issue = issue.max(mem_free);
+            }
+
+            // Structural constraints: at most `issue_width` instructions and
+            // `fu_limits` per class per cycle. Program order guarantees
+            // `issue >= group_cycle` here, so scanning forward terminates.
+            let fu = fu_index(instr.op);
+            loop {
+                if issue > group_cycle {
+                    group_cycle = issue;
+                    issued_in_group = 0;
+                    fu_used = [0; 5];
+                }
+                if issued_in_group < issue_width && fu_used[fu] < fu_limits[fu] {
+                    fu_used[fu] += 1;
+                    issued_in_group += 1;
+                    break;
+                }
+                issue += 1;
+            }
+
+            // Execute: memory ops access the hierarchy in program order.
+            let exec_latency = match instr.op {
+                OpClass::Load => {
+                    // simlint::allow(panic-path, "trace constructors attach an address to every memory op")
+                    let addr = instr.mem_addr.expect("loads carry an address");
+                    let access = self.hierarchy.access_data(addr, false);
+                    mem_free = if access.latency > l1d_hit_latency {
+                        // A miss blocks the cache until the fill returns.
+                        issue + u64::from(access.latency)
+                    } else {
+                        issue + 1
+                    };
+                    loads += 1;
+                    access.latency
+                }
+                OpClass::Store => {
+                    // simlint::allow(panic-path, "trace constructors attach an address to every memory op")
+                    let addr = instr.mem_addr.expect("stores carry an address");
+                    let access = self.hierarchy.access_data(addr, true);
+                    mem_free = if access.latency > l1d_hit_latency {
+                        issue + u64::from(access.latency)
+                    } else {
+                        issue + 1
+                    };
+                    stores += 1;
+                    // The write is posted; retirement is off the critical path.
+                    cfg.exec_latency(OpClass::Store)
+                }
+                other => cfg.exec_latency(other),
+            };
+            let complete = issue + u64::from(exec_latency.max(1));
+            if let Some(dest) = instr.dest {
+                reg_ready[usize::from(dest)] = complete;
+            }
+
+            if let Some(branch) = &instr.branch {
+                let correct = if self.inorder.use_gshare {
+                    self.predictor.predict_and_update(instr.pc, branch)
+                } else {
+                    Self::predict_static_not_taken(&mut self.predictor, branch)
+                };
+                if branch.taken {
+                    // A taken branch redirects fetch to a new block...
+                    current_fetch_block = None;
+                }
+                if !correct {
+                    // ...and a mispredicted one squashes the front end until
+                    // the branch resolves, plus a full pipeline refill.
+                    next_fetch = next_fetch.max(complete + u64::from(cfg.front_end_depth));
+                } else if branch.taken {
+                    // At most one taken branch per fetch cycle.
+                    next_fetch = next_fetch.max(issue + 1);
+                }
+            }
+
+            // Program order: no later instruction issues before this one.
+            next_fetch = next_fetch.max(issue);
+            last_complete = last_complete.max(complete);
+            committed += 1;
+        }
+
+        SimResult {
+            instructions: committed,
+            cycles: last_complete.max(1),
+            loads,
+            stores,
+            conditional_branches: self.predictor.conditional_branches,
+            branch_mispredictions: self.predictor.mispredictions,
+            hierarchy: self.hierarchy.stats(),
+        }
+    }
+}
+
+impl Cpu for InOrderCore {
+    fn run(&mut self, trace: &mut dyn TraceSource, max_instructions: Option<u64>) -> SimResult {
+        InOrderCore::run(self, trace, max_instructions)
+    }
+
+    fn hierarchy(&self) -> &CacheHierarchy {
+        InOrderCore::hierarchy(self)
+    }
+
+    fn hierarchy_mut(&mut self) -> &mut CacheHierarchy {
+        InOrderCore::hierarchy_mut(self)
+    }
+
+    fn reset_stats(&mut self) {
+        InOrderCore::reset_stats(self);
+    }
+
+    fn drain_cycles(&self) -> u64 {
+        InOrderCore::drain_cycles(self)
+    }
+
+    fn model(&self) -> CoreModel {
+        CoreModel::InOrder
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instruction::TraceInstruction;
+    use crate::Pipeline;
+    use vccmin_cache::{DisablingScheme, HierarchyConfig, VoltageMode};
+
+    fn hierarchy() -> CacheHierarchy {
+        CacheHierarchy::new(HierarchyConfig::ispass2010_baseline_high_voltage())
+    }
+
+    fn scalar_core() -> InOrderCore {
+        InOrderCore::new(
+            CpuConfig::ispass2010(),
+            InOrderConfig::scalar_stall_on_use(),
+            hierarchy(),
+        )
+    }
+
+    fn run(trace: Vec<TraceInstruction>) -> SimResult {
+        scalar_core().run(&mut trace.into_iter(), None)
+    }
+
+    #[test]
+    fn empty_trace_produces_empty_result() {
+        let r = run(vec![]);
+        assert_eq!(r.instructions, 0);
+        assert!(r.cycles >= 1);
+    }
+
+    #[test]
+    fn scalar_issue_caps_ipc_at_one() {
+        // Long enough that the cold I-cache misses (which a scalar front end
+        // cannot hide) amortize away.
+        let trace: Vec<_> = (0..100_000)
+            .map(|i| TraceInstruction::alu(0x1000 + (i % 256) * 4, OpClass::IntAlu))
+            .collect();
+        let r = run(trace);
+        assert_eq!(r.instructions, 100_000);
+        assert!(r.ipc() <= 1.0 + 1e-9, "scalar issue cannot exceed IPC 1, got {}", r.ipc());
+        assert!(r.ipc() > 0.9, "independent single-cycle ops should approach IPC 1, got {}", r.ipc());
+    }
+
+    #[test]
+    fn max_instructions_caps_the_run() {
+        let trace: Vec<_> = (0..10_000)
+            .map(|i| TraceInstruction::alu(0x1000 + i * 4, OpClass::IntAlu))
+            .collect();
+        let r = scalar_core().run(&mut trace.into_iter(), Some(1_000));
+        assert_eq!(r.instructions, 1_000);
+    }
+
+    #[test]
+    fn stall_on_use_hides_load_latency_until_the_consumer() {
+        // A load followed immediately by its consumer stalls for the load-use
+        // latency; padding the gap with independent work hides it.
+        let make = |gap: usize| -> Vec<TraceInstruction> {
+            let mut trace = Vec::new();
+            for i in 0..2_000u64 {
+                trace.push(TraceInstruction::load(
+                    0x1000 + (i % 16) * 4,
+                    0x40_0000 + (i % 64) * 64,
+                    2,
+                ));
+                for g in 0..gap {
+                    trace.push(TraceInstruction::alu(
+                        0x2000 + (g as u64) * 4,
+                        OpClass::IntAlu,
+                    ));
+                }
+                trace.push(
+                    TraceInstruction::alu(0x3000, OpClass::IntAlu)
+                        .with_dest(3)
+                        .with_srcs(Some(2), None),
+                );
+            }
+            trace
+        };
+        let tight = run(make(0));
+        let padded = run(make(4));
+        // Same loads either way; the padded version does more work in no more
+        // cycles per load-use pair, so its CPI must be lower.
+        assert!(
+            padded.cpi() < tight.cpi(),
+            "independent work should hide the load-use latency: {} vs {}",
+            padded.cpi(),
+            tight.cpi()
+        );
+    }
+
+    #[test]
+    fn blocking_cache_serializes_independent_misses() {
+        // Independent missing loads (distinct destinations, never consumed):
+        // an OoO core overlaps them through the LSQ; the in-order blocking
+        // cache serializes each full miss latency.
+        let make = || -> Vec<TraceInstruction> {
+            (0..2_000)
+                .map(|i| {
+                    TraceInstruction::load(0x1000 + (i % 16) * 4, 0x100_0000 + i * 4096, (i % 8) as u8)
+                })
+                .collect()
+        };
+        let inorder = run(make());
+        let mut ooo = Pipeline::new(CpuConfig::ispass2010(), hierarchy());
+        let ooo_result = ooo.run(&mut make().into_iter(), None);
+        assert!(inorder.hierarchy.l1d.miss_rate() > 0.9);
+        assert!(
+            inorder.cycles > ooo_result.cycles * 3,
+            "misses that the OoO core overlaps must serialize in order: {} vs {}",
+            inorder.cycles,
+            ooo_result.cycles
+        );
+    }
+
+    #[test]
+    fn mispredicted_branches_cost_pipeline_refills() {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let random: Vec<_> = (0..20_000)
+            .map(|i| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                TraceInstruction::conditional_branch(0x6000 + (i % 512) * 4, state & 1 == 1, 0x7000)
+            })
+            .collect();
+        let predictable: Vec<_> = (0..20_000)
+            .map(|i| TraceInstruction::conditional_branch(0x6000 + (i % 512) * 4, true, 0x7000))
+            .collect();
+        let r_random = run(random);
+        let r_predictable = run(predictable);
+        assert!(r_random.branch_mispredict_rate() > 0.3);
+        assert!(r_predictable.branch_mispredict_rate() < 0.05);
+        assert!(
+            r_predictable.ipc() > r_random.ipc() * 1.5,
+            "mispredictions should hurt: {} vs {}",
+            r_predictable.ipc(),
+            r_random.ipc()
+        );
+    }
+
+    #[test]
+    fn static_not_taken_front_end_mispredicts_taken_branches() {
+        let taken: Vec<_> = (0..5_000)
+            .map(|i| TraceInstruction::conditional_branch(0x6000 + (i % 64) * 4, true, 0x7000))
+            .collect();
+        let mut static_core = InOrderCore::new(
+            CpuConfig::ispass2010(),
+            InOrderConfig::static_not_taken(),
+            hierarchy(),
+        );
+        let r_static = static_core.run(&mut taken.clone().into_iter(), None);
+        let r_gshare = run(taken);
+        assert!(
+            r_static.branch_mispredict_rate() > 0.99,
+            "not-taken prediction must miss every taken branch, got {}",
+            r_static.branch_mispredict_rate()
+        );
+        assert!(r_gshare.branch_mispredict_rate() < 0.05);
+        assert!(r_gshare.ipc() > r_static.ipc() * 1.5);
+    }
+
+    #[test]
+    fn wider_issue_helps_independent_work() {
+        let trace: Vec<_> = (0..20_000)
+            .map(|i| {
+                TraceInstruction::alu(0x1000 + (i % 256) * 4, OpClass::IntAlu)
+                    .with_dest((i % 8) as u8)
+            })
+            .collect();
+        let mut wide = InOrderCore::new(
+            CpuConfig::ispass2010(),
+            InOrderConfig {
+                issue_width: 2,
+                use_gshare: true,
+            },
+            hierarchy(),
+        );
+        let r_wide = wide.run(&mut trace.clone().into_iter(), None);
+        let r_scalar = run(trace);
+        assert!(
+            r_wide.ipc() > r_scalar.ipc() * 1.5,
+            "dual issue should nearly double throughput on independent ops: {} vs {}",
+            r_wide.ipc(),
+            r_scalar.ipc()
+        );
+        assert!(r_wide.ipc() <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn drain_cycles_use_the_shallow_in_order_bound() {
+        let core = scalar_core();
+        // front_end_depth (10) + in-flight window (1) + L2 (20) + memory (255).
+        assert_eq!(core.drain_cycles(), 10 + 1 + 20 + 255);
+        let low = InOrderCore::new(
+            CpuConfig::ispass2010(),
+            InOrderConfig::scalar_stall_on_use(),
+            CacheHierarchy::new(HierarchyConfig::ispass2010(
+                DisablingScheme::Baseline,
+                VoltageMode::Low,
+            )),
+        );
+        assert!(low.drain_cycles() < core.drain_cycles());
+    }
+
+    #[test]
+    fn reset_stats_clears_counters_but_keeps_training() {
+        let trace: Vec<_> = (0..2_000)
+            .map(|i| TraceInstruction::conditional_branch(0x6000 + (i % 64) * 4, true, 0x7000))
+            .collect();
+        let mut core = scalar_core();
+        let first = core.run(&mut trace.clone().into_iter(), None);
+        core.reset_stats();
+        let second = core.run(&mut trace.into_iter(), None);
+        assert!(first.conditional_branches == second.conditional_branches);
+        assert!(
+            second.branch_mispredictions <= first.branch_mispredictions,
+            "training persists across reset_stats: {} vs {}",
+            second.branch_mispredictions,
+            first.branch_mispredictions
+        );
+    }
+}

@@ -1,4 +1,4 @@
-//! Trace-driven cycle-level out-of-order superscalar processor model.
+//! Trace-driven cycle-level processor models behind a shared [`Cpu`] trait.
 //!
 //! This crate is the `sim-alpha`-like substrate of the ISPASS 2010 reproduction: a
 //! cycle-level model of a high-performance out-of-order core with the structural
@@ -6,6 +6,13 @@
 //! 4-wide fetch/decode, 6-wide issue, 4-wide commit, 128-entry reorder buffer,
 //! 40/20-entry integer/floating-point issue queues, a pool of functional units) on
 //! top of the cache hierarchy provided by [`vccmin_cache`].
+//!
+//! Alongside the out-of-order [`Pipeline`] lives a scalar stall-on-use
+//! [`InOrderCore`] — the comparison axis that re-examines the paper's
+//! latency/capacity trade-offs where no memory-level parallelism hides a repair
+//! scheme's extra cycles. Both backends implement [`Cpu`], and campaigns select
+//! between them through the [`CoreModel`] axis (whose
+//! [`build`](CoreModel::build) method is the single core-construction factory).
 //!
 //! The model is *trace driven*: instructions come from any [`TraceSource`]
 //! (synthetic workload generators live in the `vccmin-workloads` crate) and carry
@@ -58,12 +65,16 @@
 
 pub mod branch;
 pub mod config;
+pub mod core;
+pub mod inorder;
 pub mod instruction;
 pub mod pipeline;
 pub mod result;
 
 pub use branch::{BranchPredictor, GsharePredictor, ReturnAddressStack};
 pub use config::CpuConfig;
+pub use core::{CoreModel, Cpu};
+pub use inorder::{InOrderConfig, InOrderCore};
 pub use instruction::{BranchInfo, BranchKind, OpClass, Reg, TraceInstruction};
 pub use pipeline::{Pipeline, TraceSource};
 pub use result::SimResult;

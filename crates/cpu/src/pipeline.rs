@@ -95,6 +95,11 @@ impl Pipeline {
         &self.hierarchy
     }
 
+    /// Mutable access to the cache hierarchy.
+    pub fn hierarchy_mut(&mut self) -> &mut CacheHierarchy {
+        &mut self.hierarchy
+    }
+
     /// Resets every statistics counter (cache hierarchy, branch predictor)
     /// while preserving cache contents and predictor training state. Callers
     /// that issue multiple [`Pipeline::run`] calls on one pipeline (e.g. a

@@ -6,17 +6,25 @@
 //! default (override with `--instructions` and `--pairs`).
 //!
 //! ```text
-//! vccmin-repro <target> [--workload W[,W...]] [--scheme S] [--l2-scheme L] [--instructions N] [--pairs K] [--dies D] [--seed S] [--pfail P] [--smoke] [--csv] [--serial] [--out PATH] [--checkpoint DIR]
+//! vccmin-repro <target> [--workload W[,W...]] [--core C] [--scheme S] [--l2-scheme L] [--instructions N] [--pairs K] [--dies D] [--seed S] [--pfail P] [--smoke] [--csv] [--serial] [--out PATH] [--checkpoint DIR]
 //!     target: fig1 fig3 fig4 fig5 fig6 fig7 table1 fig8 fig9 fig10 fig11 fig12
 //!             analysis (figs 1,3-7 + table1)   lowvolt (figs 8-10)
 //!             highvolt (figs 11-12)            schemes (repair-scheme matrix)
 //!             governor (runtime voltage-mode governor study)
 //!             yield (die-population process-variation yield study)
+//!             core-matrix (scheme matrix on every CPU backend side by side)
 //!             workloads (list every workload; also `--list-workloads`)
+//!             cores (list every CPU backend; also `--list-cores`)
 //!             all
 //!     --workload: restrict a simulation campaign to a comma-separated list of
 //!               workloads — synthetic benchmark names (`gzip`) and/or real
 //!               RISC-V kernels (`riscv:matmul`); see `vccmin-repro workloads`
+//!     --core:   which CPU backend a trace-driven campaign simulates
+//!               (ooo | in-order); the default `ooo` is the paper's out-of-order
+//!               core and reproduces every pinned snapshot bit for bit. Not
+//!               accepted by `core-matrix` (which sweeps every backend itself)
+//!               or `yield` (whose per-die pass criterion is capacity-based and
+//!               core-independent)
 //!     --scheme: restrict the `schemes` campaign to one repair scheme
 //!               (baseline | block-disable | word-disable | bit-fix | way-sacrifice);
 //!               implies the `schemes` target when no target is given
@@ -58,9 +66,10 @@ use std::process::ExitCode;
 use vccmin_experiments::analysis_figures as af;
 use vccmin_experiments::report::FigureTable;
 use vccmin_experiments::simulation::{
-    FaultMapPool, GovernorStudy, HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy,
-    SimulationParams,
+    CoreMatrixStudy, FaultMapPool, GovernorStudy, HighVoltageStudy, LowVoltageStudy,
+    SchemeMatrixStudy, SimulationParams,
 };
+use vccmin_cpu::CoreModel;
 use vccmin_experiments::fleet::{FleetParams, FleetStudy};
 use vccmin_experiments::yield_study::YieldParams;
 use vccmin_experiments::{L2Protection, OverheadTable, SchemeConfig, Workload};
@@ -88,9 +97,14 @@ fn parse_args() -> Result<Options, String> {
             args.next();
             "workloads".to_string()
         }
+        Some(first) if first == "--list-cores" => {
+            args.next();
+            "cores".to_string()
+        }
         _ => args.next().ok_or_else(usage)?,
     };
     let mut scheme = None;
+    let mut core: Option<CoreModel> = None;
     let mut l2: Option<L2Protection> = None;
     let mut csv = false;
     let mut serial = false;
@@ -151,6 +165,15 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.next().ok_or("--pfail needs a value")?;
                 pfail = Some(v.parse().map_err(|e| format!("bad pfail: {e}"))?);
             }
+            "--core" => {
+                let v = args.next().ok_or("--core needs a value")?;
+                core = Some(CoreModel::from_name(&v).ok_or_else(|| {
+                    format!(
+                        "unknown core {v}; expected one of {}",
+                        CoreModel::ALL.map(|c| c.name()).join(" | ")
+                    )
+                })?);
+            }
             "--scheme" => {
                 let v = args.next().ok_or("--scheme needs a value")?;
                 let parsed = DisablingScheme::from_name(&v).ok_or_else(|| {
@@ -178,7 +201,19 @@ fn parse_args() -> Result<Options, String> {
             other => return Err(format!("unknown option {other}\n{}", usage())),
         }
     }
-    let mut params = if smoke {
+    let mut params = if target == "core-matrix" {
+        // The core matrix defaults to its pinned quick-scale campaign
+        // (synthetic + riscv workloads); `--smoke` keeps those workloads but
+        // drops to smoke-scale traces.
+        if smoke {
+            SimulationParams {
+                workloads: SimulationParams::core_matrix_quick().workloads,
+                ..SimulationParams::smoke()
+            }
+        } else {
+            SimulationParams::core_matrix_quick()
+        }
+    } else if smoke {
         SimulationParams::smoke()
     } else {
         SimulationParams::quick()
@@ -200,6 +235,9 @@ fn parse_args() -> Result<Options, String> {
     }
     if let Some(v) = workloads.clone() {
         params.workloads = v;
+    }
+    if let Some(v) = core {
+        params.core = v;
     }
     let mut yield_params = if smoke {
         YieldParams::smoke()
@@ -230,8 +268,8 @@ fn parse_args() -> Result<Options, String> {
         ));
     }
     let l2_targets = [
-        "schemes", "lowvolt", "highvolt", "governor", "yield", "all", "fig8", "fig9", "fig10",
-        "fig11", "fig12",
+        "schemes", "lowvolt", "highvolt", "governor", "core-matrix", "yield", "all", "fig8",
+        "fig9", "fig10", "fig11", "fig12",
     ];
     if l2.is_some() && !l2_targets.contains(&target.as_str()) {
         return Err(format!(
@@ -240,12 +278,25 @@ fn parse_args() -> Result<Options, String> {
         ));
     }
     let workload_targets = [
-        "schemes", "lowvolt", "highvolt", "governor", "all", "fig8", "fig9", "fig10", "fig11",
-        "fig12",
+        "schemes", "lowvolt", "highvolt", "governor", "core-matrix", "all", "fig8", "fig9",
+        "fig10", "fig11", "fig12",
     ];
     if workloads.is_some() && !workload_targets.contains(&target.as_str()) {
         return Err(format!(
             "--workload only applies to the trace-driven simulation campaigns\n{}",
+            usage()
+        ));
+    }
+    // `core-matrix` sweeps every backend itself, and `yield`'s per-die pass
+    // criterion is capacity-based (core-independent), so neither takes --core.
+    let core_targets = [
+        "schemes", "lowvolt", "highvolt", "governor", "all", "fig8", "fig9", "fig10", "fig11",
+        "fig12",
+    ];
+    if core.is_some() && !core_targets.contains(&target.as_str()) {
+        return Err(format!(
+            "--core only applies to the single-backend trace-driven campaigns (`core-matrix` \
+             sweeps every backend itself; the `yield` pass criterion is core-independent)\n{}",
             usage()
         ));
     }
@@ -274,7 +325,7 @@ fn parse_args() -> Result<Options, String> {
 }
 
 fn usage() -> String {
-    "usage: vccmin-repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|analysis|lowvolt|highvolt|schemes|governor|yield|workloads|all> [--workload W[,W...]] [--scheme baseline|block-disable|word-disable|bit-fix|way-sacrifice] [--l2-scheme perfect-l2|matched|<scheme>] [--instructions N] [--pairs K] [--dies D] [--seed S] [--pfail P] [--smoke] [--csv] [--serial] [--out PATH] [--checkpoint DIR]".to_string()
+    "usage: vccmin-repro <fig1|fig3|fig4|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|fig12|analysis|lowvolt|highvolt|schemes|governor|yield|core-matrix|workloads|cores|all> [--workload W[,W...]] [--core ooo|in-order] [--scheme baseline|block-disable|word-disable|bit-fix|way-sacrifice] [--l2-scheme perfect-l2|matched|<scheme>] [--instructions N] [--pairs K] [--dies D] [--seed S] [--pfail P] [--smoke] [--csv] [--serial] [--out PATH] [--checkpoint DIR]".to_string()
 }
 
 fn emit(out: &mut dyn Write, table: &FigureTable, csv: bool) {
@@ -320,6 +371,17 @@ fn print_workloads(out: &mut dyn Write) {
         )?;
         for workload in Workload::all() {
             writeln!(out, "  {:<16} {}", workload.name(), workload.description())?;
+        }
+        Ok(())
+    };
+    render().expect("failed to write output");
+}
+
+fn print_cores(out: &mut dyn Write) {
+    let mut render = || -> std::io::Result<()> {
+        writeln!(out, "available CPU backends (pass to --core):")?;
+        for core in CoreModel::ALL {
+            writeln!(out, "  {:<10} {}", core.name(), core.description())?;
         }
         Ok(())
     };
@@ -391,10 +453,11 @@ fn run_schemes(
         None => "full scheme matrix".to_string(),
     };
     eprintln!(
-        "running {described}: {} workloads x {} fault-map pairs x {} instructions, L2 {} ({})",
+        "running {described}: {} workloads x {} fault-map pairs x {} instructions, core {}, L2 {} ({})",
         params.workloads.len(),
         params.fault_map_pairs,
         params.instructions,
+        params.core,
         params.l2,
         executor_label(serial),
     );
@@ -403,6 +466,41 @@ fn run_schemes(
         None => SchemeMatrixStudy::run_with_pool(params, pool, serial),
     };
     emit(out, &study.table(), csv);
+}
+
+fn run_core_matrix(
+    out: &mut dyn Write,
+    params: &SimulationParams,
+    pool: &FaultMapPool,
+    csv: bool,
+    serial: bool,
+) {
+    eprintln!(
+        "running core matrix: {} backends x {} workloads x {} fault-map pairs x {} instructions, L2 {} ({})",
+        CoreModel::ALL.len(),
+        params.workloads.len(),
+        params.fault_map_pairs,
+        params.instructions,
+        params.l2,
+        executor_label(serial),
+    );
+    let study = CoreMatrixStudy::run_with_pool(params, pool, serial);
+    emit(out, &study.table(), csv);
+    // Diagnostics go to stderr so `--csv` stdout stays machine-parseable.
+    if let Some(first) = study.cores.first() {
+        for &scheme in first.study.schemes() {
+            if scheme == SchemeConfig::Baseline {
+                continue;
+            }
+            if let Some(delta) = study.mlp_hidden_loss(scheme) {
+                eprintln!(
+                    "summary: {:<24} out-of-order MLP was hiding {:+.1}% of the normalized performance loss",
+                    scheme.label(),
+                    100.0 * delta
+                );
+            }
+        }
+    }
 }
 
 fn run_governor(
@@ -557,6 +655,7 @@ fn main() -> ExitCode {
         "fig7" => emit(out, &af::figure7(af::DEFAULT_STEPS), csv),
         "table1" => print_table1(out),
         "workloads" => print_workloads(out),
+        "cores" => print_cores(out),
         "analysis" => run_analysis(out, csv),
         "fig8" | "fig9" | "fig10" | "lowvolt" => {
             run_lowvolt(out, p, &FaultMapPool::new(p), csv, serial);
@@ -566,6 +665,7 @@ fn main() -> ExitCode {
         }
         "schemes" => run_schemes(out, p, &FaultMapPool::new(p), csv, serial, options.scheme),
         "governor" => run_governor(out, p, &FaultMapPool::new(p), csv, serial),
+        "core-matrix" => run_core_matrix(out, p, &FaultMapPool::new(p), csv, serial),
         "yield" => {
             if let Err(e) = run_yield(
                 out,

@@ -11,8 +11,8 @@
 //!   a reactive policy driven by the workload-phase signal of
 //!   [`crate::workload::WorkloadSource::current_phase`] — scripted for
 //!   synthetic traces, observed from real memory behavior for RISC-V kernels);
-//! * every mode transition drains the pipeline
-//!   ([`Pipeline::drain_cycles`]) and reconfigures the active cache-repair
+//! * every mode transition drains the core
+//!   ([`Cpu::drain_cycles`]) and reconfigures the active cache-repair
 //!   scheme
 //!   ([`RepairScheme::reconfiguration_cycles`](vccmin_cache::RepairScheme::reconfiguration_cycles)),
 //!   modeled by [`TransitionCostModel`]; re-entering a mode also restarts with
@@ -25,16 +25,18 @@
 //!   uses.
 //!
 //! A policy pinned to one mode executes as a single segment through the same
-//! `Pipeline::run` call as the single-mode campaigns, so the governor is a
+//! [`Cpu::run`] call as the single-mode campaigns, so the governor is a
 //! strict generalization of the paper's studies — a property the workspace
-//! tests pin down bit for bit.
+//! tests pin down bit for bit. Cores are constructed through the shared
+//! [`CoreModel::build`] factory, so the governor rides every CPU backend the
+//! single-mode campaigns do.
 
 use vccmin_analysis::governor::{
     energy_delay_product, normalized_energy, normalized_time, ModeCycles,
 };
 use vccmin_analysis::voltage::VoltageScalingModel;
 use vccmin_cache::{CacheHierarchy, DisablingScheme, FaultMap, VoltageMode};
-use vccmin_cpu::{CpuConfig, Pipeline, SimResult};
+use vccmin_cpu::{CoreModel, Cpu, SimResult};
 use vccmin_workloads::{PhaseSchedule, WorkloadPhase};
 
 use crate::config::SchemeConfig;
@@ -120,8 +122,8 @@ pub enum TransitionCostModel {
     /// Transitions are free — the idealized governor used by the equivalence
     /// and sensitivity tests.
     Free,
-    /// The physical model: drain the pipeline of the mode being exited
-    /// ([`Pipeline::drain_cycles`]) plus reconfigure the repair scheme's
+    /// The physical model: drain the core of the mode being exited
+    /// ([`Cpu::drain_cycles`]) plus reconfigure the repair scheme's
     /// per-set state
     /// ([`RepairScheme::reconfiguration_cycles`](vccmin_cache::RepairScheme::reconfiguration_cycles)).
     Modeled,
@@ -134,6 +136,10 @@ pub enum TransitionCostModel {
 pub struct GovernedRunSpec<'a> {
     /// Workload to execute.
     pub workload: Workload,
+    /// CPU backend executing every segment (constructed through the shared
+    /// [`CoreModel::build`] factory; its drain bound prices `Modeled`
+    /// transitions).
+    pub core: CoreModel,
     /// Cache configuration governing both voltage modes.
     pub scheme: SchemeConfig,
     /// Repair scheme protecting the unified L2 ([`DisablingScheme::Baseline`]
@@ -168,8 +174,8 @@ pub struct GovernedSegment {
     /// Workload phase observed at the segment's start.
     pub phase: WorkloadPhase,
     /// Simulation result of this segment alone: statistics counters are reset
-    /// between consecutive same-mode segments (and the pipeline is rebuilt on
-    /// a mode change), so per-segment counters are safe to sum.
+    /// between consecutive same-mode segments (and the core is rebuilt on a
+    /// mode change), so per-segment counters are safe to sum.
     pub sim: SimResult,
 }
 
@@ -314,7 +320,7 @@ fn build_hierarchy(spec: &GovernedRunSpec<'_>, mode: VoltageMode) -> Option<Cach
 /// unreachable because the repair scheme cannot repair the fault-map pair
 /// (whole-cache failure), mirroring the single-mode campaigns' accounting.
 ///
-/// The pipeline and cache state survive across consecutive same-mode segments;
+/// The core and cache state survive across consecutive same-mode segments;
 /// a mode transition tears them down (the caches restart cold in the new mode,
 /// which is precisely the reconfiguration the transition cost models).
 #[must_use]
@@ -329,17 +335,17 @@ pub fn run_governed(spec: &GovernedRunSpec<'_>) -> Option<GovernedRun> {
     let mut index = 0usize;
     let mut phase = trace.current_phase();
     let (mut mode, mut length) = spec.policy.segment(index, phase);
-    let mut pipeline: Option<Pipeline> = None;
+    let mut cpu: Option<Box<dyn Cpu>> = None;
 
     while remaining > 0 {
-        if pipeline.is_none() {
-            pipeline = Some(Pipeline::new(
-                CpuConfig::ispass2010(),
-                build_hierarchy(spec, mode)?,
-            ));
+        if cpu.is_none() {
+            // The same factory path the single-mode campaigns use
+            // (`CoreModel::build`), so both executors construct identical
+            // backends.
+            cpu = Some(spec.core.build(build_hierarchy(spec, mode)?));
         }
         // simlint::allow(panic-path, "Some(..) was assigned in the is_none branch directly above")
-        let pipe = pipeline.as_mut().expect("pipeline was just built");
+        let pipe = cpu.as_mut().expect("core was just built");
         let sim = pipe.run(&mut trace, Some(length.min(remaining)));
         remaining -= sim.instructions.min(remaining);
         segments.push(GovernedSegment { mode, phase, sim });
@@ -378,7 +384,7 @@ pub fn run_governed(spec: &GovernedRunSpec<'_>) -> Option<GovernedRun> {
                 VoltageMode::High => transition_cycles_nominal += cost,
                 VoltageMode::Low => transition_cycles_low += cost,
             }
-            pipeline = None;
+            cpu = None;
             mode = next_mode;
         }
         length = next_length;
@@ -415,6 +421,7 @@ mod tests {
     ) -> GovernedRunSpec<'a> {
         GovernedRunSpec {
             workload: vccmin_workloads::Benchmark::Gzip.into(),
+            core: CoreModel::OutOfOrder,
             scheme: SchemeConfig::BlockDisabling,
             l2_scheme: DisablingScheme::Baseline,
             policy,

@@ -15,8 +15,11 @@
 //!   mean and minimum normalized performance) plus the
 //!   [`SchemeMatrixStudy`](simulation::SchemeMatrixStudy) that compares every
 //!   repair scheme in the registry — baseline, word-disabling, block-disabling,
-//!   bit-fix and way-sacrifice — and the [`GovernorStudy`](simulation::GovernorStudy)
-//!   that executes benchmarks under runtime voltage-mode-switching policies;
+//!   bit-fix and way-sacrifice — the [`GovernorStudy`](simulation::GovernorStudy)
+//!   that executes benchmarks under runtime voltage-mode-switching policies, and
+//!   the [`CoreMatrixStudy`](simulation::CoreMatrixStudy) that re-runs the scheme
+//!   matrix on every CPU backend ([`CoreModel`](vccmin_cpu::CoreModel) axis) to
+//!   expose how much memory-level parallelism hides each scheme's latency;
 //! * [`governor`] — the runtime voltage-mode governor itself: mode-selection
 //!   policies (static schedule, fixed interval, phase-reactive), transition
 //!   costs (pipeline drain + repair-scheme reconfiguration) and the governed
@@ -89,9 +92,9 @@ pub use governor::{
 };
 pub use overhead::{OverheadRow, OverheadTable};
 pub use simulation::{
-    BenchmarkResult, FaultMapPool, GovernorBenchmarkResult, GovernorPolicyResult, GovernorStudy,
-    HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy, SimulationParams,
-    GOVERNOR_POLICY_LABELS,
+    BenchmarkResult, CoreMatrixEntry, CoreMatrixStudy, FaultMapPool, GovernorBenchmarkResult,
+    GovernorPolicyResult, GovernorStudy, HighVoltageStudy, LowVoltageStudy, SchemeMatrixStudy,
+    SimulationParams, GOVERNOR_POLICY_LABELS,
 };
 pub use workload::{Workload, WorkloadSource, RISCV_PREFIX};
 pub use yield_study::{DieResult, YieldParams, YieldStudy};

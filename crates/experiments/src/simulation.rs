@@ -21,7 +21,7 @@ use vccmin_analysis::voltage::VoltageScalingModel;
 use vccmin_cache::{
     CacheGeometry, CacheHierarchy, DisablingScheme, FaultMap, HierarchyConfig, VoltageMode,
 };
-use vccmin_cpu::{CpuConfig, Pipeline, SimResult};
+use vccmin_cpu::{CoreModel, SimResult};
 use vccmin_fault::SeedSequence;
 use vccmin_workloads::{Benchmark, PhaseSchedule};
 
@@ -52,6 +52,13 @@ pub struct SimulationParams {
     /// for bit; any other choice samples one L2 fault map per fault-map pair
     /// and resolves the chosen scheme's effective L2 organization.
     pub l2: L2Protection,
+    /// Which CPU backend simulates the traces. The default
+    /// ([`CoreModel::OutOfOrder`]) is the paper's core, so every pre-existing
+    /// golden is untouched; [`CoreModel::InOrder`] re-runs the same campaign
+    /// on the scalar stall-on-use core. The trace seed derivation does not
+    /// depend on this axis, so both cores replay identical instruction
+    /// streams against identical fault maps.
+    pub core: CoreModel,
 }
 
 impl SimulationParams {
@@ -66,6 +73,7 @@ impl SimulationParams {
             master_seed: 0x15_2A55_2010,
             workloads: Workload::all_synthetic(),
             l2: L2Protection::Perfect,
+            core: CoreModel::OutOfOrder,
         }
     }
 
@@ -85,6 +93,7 @@ impl SimulationParams {
                 Benchmark::Gzip.into(),
             ],
             l2: L2Protection::Perfect,
+            core: CoreModel::OutOfOrder,
         }
     }
 
@@ -104,6 +113,28 @@ impl SimulationParams {
         }
     }
 
+    /// The quick-scale two-core matrix campaign pinned by the `core_matrix`
+    /// golden: a representative synthetic subset plus one RISC-V kernel, with
+    /// an instruction budget high enough that the kernel's sequential fill
+    /// prefix (~75 k instructions) is retired and its data-dependent body is
+    /// reached, and a reduced pair count so the doubled (two-core) campaign
+    /// stays quick.
+    #[must_use]
+    pub fn core_matrix_quick() -> Self {
+        Self {
+            instructions: 120_000,
+            fault_map_pairs: 3,
+            workloads: vec![
+                Benchmark::Crafty.into(),
+                Benchmark::Mcf.into(),
+                Benchmark::Swim.into(),
+                Benchmark::Gzip.into(),
+                vccmin_riscv::RvKernel::Quicksort.into(),
+            ],
+            ..Self::quick()
+        }
+    }
+
     /// The paper-scale campaign: 100 M instructions, 50 fault-map pairs, all 26
     /// workloads. This takes many CPU-hours; use it only for a full reproduction.
     #[must_use]
@@ -115,6 +146,7 @@ impl SimulationParams {
             master_seed: 2010,
             workloads: Workload::all_synthetic(),
             l2: L2Protection::Perfect,
+            core: CoreModel::OutOfOrder,
         }
     }
 
@@ -223,16 +255,20 @@ impl BenchmarkResult {
     }
 }
 
-/// Runs one workload on one hierarchy and returns the result.
+/// Runs one workload on one hierarchy with the selected CPU backend and
+/// returns the result. Core construction goes through [`CoreModel::build`] —
+/// the same factory path the governor uses — so every campaign executor
+/// builds cores identically.
 fn simulate(
     workload: Workload,
+    core: CoreModel,
     hierarchy: CacheHierarchy,
     trace_seed: u64,
     instructions: u64,
 ) -> SimResult {
-    let mut pipeline = Pipeline::new(CpuConfig::ispass2010(), hierarchy);
+    let mut cpu = core.build(hierarchy);
     let mut trace = workload.source(trace_seed);
-    pipeline.run(&mut trace, Some(instructions))
+    cpu.run(&mut trace, Some(instructions))
 }
 
 /// Generates the campaign's fault-map pairs (instruction cache, data cache).
@@ -363,7 +399,7 @@ fn run_fault_pair(
 ) -> Option<SimResult> {
     CacheHierarchy::with_all_fault_maps(cfg, Some(map_i), Some(map_d), l2_map)
         .ok()
-        .map(|hierarchy| simulate(workload, hierarchy, trace_seed, params.instructions))
+        .map(|hierarchy| simulate(workload, params.core, hierarchy, trace_seed, params.instructions))
 }
 
 /// Whether `scheme` at `voltage` is evaluated once per fault-map pair: the L1
@@ -420,7 +456,7 @@ fn run_config(
         }
     } else {
         let hierarchy = CacheHierarchy::new(cfg);
-        runs.push(simulate(workload, hierarchy, seed, params.instructions));
+        runs.push(simulate(workload, params.core, hierarchy, seed, params.instructions));
     }
     ConfigResult {
         scheme,
@@ -979,6 +1015,143 @@ impl SchemeMatrixStudy {
     }
 }
 
+/// One CPU backend's scheme matrix within a [`CoreMatrixStudy`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreMatrixEntry {
+    /// The CPU backend this matrix was simulated on.
+    pub core: CoreModel,
+    /// The full scheme matrix on that backend.
+    pub study: SchemeMatrixStudy,
+}
+
+/// The headline cross-backend study: the paper's repair-scheme matrix re-run
+/// on every [`CoreModel`], each normalized to *that backend's* fault-free
+/// baseline. The out-of-order columns reproduce the paper's numbers; the
+/// in-order columns show each scheme's latency/capacity penalty with no
+/// memory-level parallelism left to hide it.
+///
+/// Both backends replay identical instruction streams (the trace seed does
+/// not depend on the core) against identical fault maps (shared
+/// [`FaultMapPool`]), so any per-column difference is purely the core model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreMatrixStudy {
+    /// One scheme matrix per backend, in [`CoreModel::ALL`] order.
+    pub cores: Vec<CoreMatrixEntry>,
+}
+
+impl CoreMatrixStudy {
+    /// Runs the matrix on every backend serially.
+    #[must_use]
+    pub fn run(params: &SimulationParams) -> Self {
+        Self::run_with_pool(params, &FaultMapPool::new(params), true)
+    }
+
+    /// Runs the matrix on every backend on all available cores (bit-identical
+    /// to [`CoreMatrixStudy::run`]).
+    #[must_use]
+    pub fn run_parallel(params: &SimulationParams) -> Self {
+        Self::run_with_pool(params, &FaultMapPool::new(params), false)
+    }
+
+    /// Runs the matrix on every backend against a shared [`FaultMapPool`]
+    /// (serially when `serial`). `params.core` is ignored — the study sweeps
+    /// the core axis itself, in [`CoreModel::ALL`] order.
+    #[must_use]
+    pub fn run_with_pool(params: &SimulationParams, pool: &FaultMapPool, serial: bool) -> Self {
+        let cores = CoreModel::ALL
+            .iter()
+            .map(|&core| {
+                let core_params = SimulationParams {
+                    core,
+                    ..params.clone()
+                };
+                CoreMatrixEntry {
+                    core,
+                    study: SchemeMatrixStudy::run_with_pool(&core_params, pool, serial),
+                }
+            })
+            .collect();
+        Self { cores }
+    }
+
+    /// The evaluated (non-baseline) scheme columns of one entry's matrix.
+    fn scheme_columns(entry: &CoreMatrixEntry) -> Vec<SchemeConfig> {
+        entry
+            .study
+            .schemes()
+            .iter()
+            .copied()
+            .filter(|&s| s != SchemeConfig::Baseline)
+            .collect()
+    }
+
+    /// The core-matrix table: per workload, every backend's per-scheme mean
+    /// and worst-fault-map performance, normalized to the same backend's
+    /// fault-free baseline. Column labels are prefixed with the core name
+    /// (`"ooo: bit-fix avg"`, `"in-order: bit-fix avg"`, ...).
+    #[must_use]
+    pub fn table(&self) -> FigureTable {
+        let mut labels = Vec::new();
+        for entry in &self.cores {
+            for scheme in Self::scheme_columns(entry) {
+                labels.push(format!("{}: {} avg", entry.core, scheme.label()));
+                labels.push(format!("{}: {} min", entry.core, scheme.label()));
+            }
+        }
+        let mut table = FigureTable::new(
+            "Core matrix: below Vcc-min, per CPU backend, normalized to that backend's fault-free baseline",
+            "benchmark",
+            labels,
+        );
+        let Some(first) = self.cores.first() else {
+            return table;
+        };
+        for (row, reference) in first.study.workloads.iter().enumerate() {
+            let mut values = Vec::new();
+            for entry in &self.cores {
+                let b = &entry.study.workloads[row];
+                debug_assert_eq!(b.workload, reference.workload, "entries share workload order");
+                for scheme in Self::scheme_columns(entry) {
+                    values.push(b.normalized_mean(scheme, SchemeConfig::Baseline));
+                    values.push(b.normalized_min(scheme, SchemeConfig::Baseline));
+                }
+            }
+            table.push_row(reference.workload.name(), values);
+        }
+        table
+    }
+
+    /// Average (over workloads) of how much of `scheme`'s normalized-mean
+    /// performance loss the out-of-order core's MLP was hiding: the in-order
+    /// loss minus the out-of-order loss. Positive means the scheme looks
+    /// cheaper on the paper's core than it is on a core that cannot overlap
+    /// misses. Returns `None` unless both backends evaluated the scheme.
+    #[must_use]
+    pub fn mlp_hidden_loss(&self, scheme: SchemeConfig) -> Option<f64> {
+        let per_core: Vec<f64> = self
+            .cores
+            .iter()
+            .map(|entry| {
+                let study = &entry.study;
+                if study.workloads.is_empty() || !study.schemes().contains(&scheme) {
+                    return None;
+                }
+                let mean = study
+                    .workloads
+                    .iter()
+                    .map(|b| b.normalized_mean(scheme, SchemeConfig::Baseline))
+                    .sum::<f64>()
+                    / study.workloads.len() as f64;
+                Some(1.0 - mean)
+            })
+            .collect::<Option<Vec<f64>>>()?;
+        match per_core.as_slice() {
+            [ooo_loss, inorder_loss, ..] => Some(inorder_loss - ooo_loss),
+            _ => None,
+        }
+    }
+}
+
 /// Labels of the governor policies, in study order. The first policy (pinned
 /// nominal) is the normalization reference of the figure table.
 pub const GOVERNOR_POLICY_LABELS: [&str; 4] = ["nominal", "low", "interval", "reactive"];
@@ -1124,6 +1297,7 @@ impl GovernorStudy {
     ) -> Option<GovernedRun> {
         run_governed(&GovernedRunSpec {
             workload,
+            core: params.core,
             scheme: Self::SCHEME,
             l2_scheme: params.l2.scheme_for(Self::SCHEME),
             policy,
@@ -1616,6 +1790,57 @@ mod tests {
         for v in &table.rows[0].1 {
             let v = v.unwrap();
             assert!((0.1..=1.2).contains(&v), "normalized value {v} out of range");
+        }
+    }
+
+    #[test]
+    fn core_matrix_study_sweeps_both_backends_and_parallel_matches_serial() {
+        let mut params = SimulationParams::smoke();
+        params.workloads = vec![Benchmark::Gzip.into()];
+        params.instructions = 3_000;
+        let serial = CoreMatrixStudy::run(&params);
+        let parallel = CoreMatrixStudy::run_parallel(&params);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.cores.len(), CoreModel::ALL.len());
+        assert_eq!(serial.cores[0].core, CoreModel::OutOfOrder);
+        assert_eq!(serial.cores[1].core, CoreModel::InOrder);
+        // The out-of-order entry is exactly the plain scheme matrix (the
+        // params' default core), so the new axis cannot drift from the
+        // pre-existing study.
+        assert_eq!(serial.cores[0].study, SchemeMatrixStudy::run(&params));
+        let table = serial.table();
+        assert_eq!(table.rows.len(), 1);
+        // Two backends x four non-baseline schemes x (avg, min).
+        assert_eq!(table.series_labels.len(), 16);
+        assert!(table.series_labels[0].starts_with("ooo: "));
+        assert!(table.series_labels[8].starts_with("in-order: "));
+        for v in &table.rows[0].1 {
+            let v = v.unwrap();
+            assert!(v.is_finite() && v > 0.0, "normalized value {v} out of range");
+        }
+        let hidden = serial.mlp_hidden_loss(SchemeConfig::BitFix).unwrap();
+        assert!(hidden.is_finite());
+        assert!(serial.mlp_hidden_loss(SchemeConfig::BlockDisablingVictim10T).is_none());
+    }
+
+    #[test]
+    fn in_order_campaign_params_change_results_but_not_structure() {
+        let mut params = SimulationParams::smoke();
+        params.workloads = vec![Benchmark::Crafty.into()];
+        params.instructions = 3_000;
+        let ooo = SchemeMatrixStudy::run(&params);
+        params.core = CoreModel::InOrder;
+        let inorder = SchemeMatrixStudy::run(&params);
+        assert_eq!(ooo.schemes(), inorder.schemes());
+        for (a, b) in ooo.workloads.iter().zip(&inorder.workloads) {
+            assert_eq!(a.workload, b.workload);
+            for (ca, cb) in a.configs.iter().zip(&b.configs) {
+                assert_eq!(ca.runs.len(), cb.runs.len());
+                for (ra, rb) in ca.runs.iter().zip(&cb.runs) {
+                    assert_eq!(ra.instructions, rb.instructions, "identical committed streams");
+                    assert!(rb.cycles > ra.cycles, "the scalar core is never faster");
+                }
+            }
         }
     }
 

@@ -19,6 +19,7 @@ use vccmin_core::experiments::{
     SchemeConfig, SimulationParams, TransitionCostModel,
 };
 use vccmin_core::cache::DisablingScheme;
+use vccmin_core::cpu::CoreModel;
 use vccmin_core::{Benchmark, FaultMap};
 
 fn small_params(benchmarks: Vec<Benchmark>, instructions: u64) -> SimulationParams {
@@ -37,6 +38,7 @@ fn pinned_run(
 ) -> GovernedRun {
     run_governed(&GovernedRunSpec {
         workload,
+        core: CoreModel::OutOfOrder,
         scheme: SchemeConfig::BlockDisabling,
         l2_scheme: DisablingScheme::Baseline,
         policy: &GovernorPolicy::pinned(mode),
@@ -111,6 +113,7 @@ fn closed_form_overhead_model_cross_validates_the_simulation() {
         let ipc_low = low.segments[0].sim.ipc();
         let governed = run_governed(&GovernedRunSpec {
             workload: benchmark.into(),
+            core: CoreModel::OutOfOrder,
             scheme: SchemeConfig::BlockDisabling,
             l2_scheme: DisablingScheme::Baseline,
             policy: &GovernorPolicy::Interval {
@@ -170,6 +173,7 @@ proptest! {
         let run_with_quantum = |quantum: u64| -> GovernedRun {
             run_governed(&GovernedRunSpec {
                 workload: benchmark.into(),
+                core: CoreModel::OutOfOrder,
                 scheme: SchemeConfig::BlockDisabling,
                 l2_scheme: DisablingScheme::Baseline,
                 policy: &GovernorPolicy::Interval { nominal: quantum, low: quantum },
@@ -213,6 +217,7 @@ proptest! {
         let pair = &params.derived_fault_map_pairs()[0];
         let run = run_governed(&GovernedRunSpec {
             workload: benchmark.into(),
+            core: CoreModel::OutOfOrder,
             scheme: SchemeConfig::BlockDisabling,
             l2_scheme: DisablingScheme::Baseline,
             policy: &GovernorPolicy::Interval { nominal: 1_000, low: 1_000 },

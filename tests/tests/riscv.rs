@@ -24,6 +24,7 @@ use vccmin_core::experiments::{
     run_governed, GovernedRunSpec, GovernorPolicy, GovernorStudy, SchemeConfig,
     TransitionCostModel, Workload,
 };
+use vccmin_core::cpu::CoreModel;
 use vccmin_core::riscv::{Cpu, RvKernel, RvTraceSource};
 
 const RISCV_SCHEMES: &str = include_str!("../golden/riscv_schemes.csv");
@@ -102,6 +103,7 @@ fn pinned_governor_on_a_riscv_kernel_replays_the_campaign_bit_for_bit() {
     for (k, pair) in params.derived_fault_map_pairs().iter().enumerate() {
         let governed = run_governed(&GovernedRunSpec {
             workload,
+            core: CoreModel::OutOfOrder,
             scheme: SchemeConfig::BlockDisabling,
             l2_scheme: DisablingScheme::Baseline,
             policy: &GovernorPolicy::pinned(VoltageMode::Low),
@@ -128,6 +130,7 @@ fn interval_governor_executes_a_riscv_kernel_across_mode_switches() {
     let pair = &params.derived_fault_map_pairs()[0];
     let run = run_governed(&GovernedRunSpec {
         workload,
+        core: CoreModel::OutOfOrder,
         scheme: SchemeConfig::BlockDisabling,
         l2_scheme: DisablingScheme::Baseline,
         policy: &GovernorPolicy::Interval {
